@@ -1,0 +1,313 @@
+//! Detection scoring: joins a run's alerts with the adversary's ground
+//! truth into the detection-rate / false-positive / latency numbers of
+//! experiment E4.
+
+use crate::threat::ThreatKind;
+use drams_core::alert::AlertKind;
+use drams_core::monitor::{GroundTruth, MonitorReport};
+use drams_faas::msg::CorrelationId;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Which alert kinds count as detecting a given threat.
+#[must_use]
+pub fn expected_alert_kinds(threat: ThreatKind) -> &'static [fn(&AlertKind) -> bool] {
+    fn is_request_tampering(k: &AlertKind) -> bool {
+        matches!(k, AlertKind::RequestTampering)
+    }
+    fn is_response_tampering(k: &AlertKind) -> bool {
+        matches!(k, AlertKind::ResponseTampering)
+    }
+    fn is_policy_violation(k: &AlertKind) -> bool {
+        matches!(k, AlertKind::PolicyViolation)
+    }
+    fn is_enforcement(k: &AlertKind) -> bool {
+        matches!(k, AlertKind::EnforcementMismatch)
+    }
+    fn is_missing(k: &AlertKind) -> bool {
+        matches!(k, AlertKind::MissingLog { .. })
+    }
+    fn is_monitor_compromise(k: &AlertKind) -> bool {
+        matches!(
+            k,
+            AlertKind::MonitorCompromise
+                | AlertKind::ConflictingObservation { .. }
+                | AlertKind::RequestTampering
+                | AlertKind::ResponseTampering
+        )
+    }
+    fn is_policy_swap(k: &AlertKind) -> bool {
+        matches!(
+            k,
+            AlertKind::WrongPolicyVersion | AlertKind::PolicyViolation
+        )
+    }
+    match threat {
+        ThreatKind::TamperRequest => &[is_request_tampering],
+        ThreatKind::TamperResponse => &[is_response_tampering],
+        ThreatKind::CorruptDecision => &[is_policy_violation],
+        ThreatKind::FlipEnforcement => &[is_enforcement],
+        ThreatKind::DropLog => &[is_missing],
+        // A compromised LI surfaces either as a broken probe MAC or as the
+        // digest-mismatch it caused; both mean "monitoring plane attacked".
+        ThreatKind::TamperLog => &[is_monitor_compromise],
+        ThreatKind::SwapPolicy => &[is_policy_swap],
+    }
+}
+
+/// Counts how many of `correlations` have **any** alert at all.
+///
+/// Under composite attacks, threats can mask each other's *signatures*
+/// (e.g. dropping the logs of a corrupted decision turns the
+/// `PolicyViolation` into a `MissingLog`) while the transaction is still
+/// flagged — this is the right detection notion for multi-threat runs.
+#[must_use]
+pub fn detected_by_any_alert(
+    report: &MonitorReport,
+    correlations: &[CorrelationId],
+) -> usize {
+    let alerted: HashSet<CorrelationId> =
+        report.alerts.iter().map(|a| a.correlation).collect();
+    correlations
+        .iter()
+        .collect::<HashSet<_>>()
+        .iter()
+        .filter(|c| alerted.contains(c))
+        .count()
+}
+
+/// Detection score for one threat in one run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionScore {
+    /// The scored threat.
+    pub threat: ThreatKind,
+    /// Attack actions the adversary actually performed.
+    pub attacks: usize,
+    /// Attacked transactions for which a matching alert was raised.
+    pub detected: usize,
+    /// Alerts of the matching kinds on *non-attacked* transactions.
+    pub false_positives: usize,
+    /// Mean request-issue → alert-committed latency (µs) over detections.
+    pub mean_detection_latency_us: f64,
+    /// 95th-percentile detection latency (µs).
+    pub p95_detection_latency_us: u64,
+}
+
+impl DetectionScore {
+    /// Detection rate in `[0, 1]`; 1.0 when there were no attacks.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.attacks == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.attacks as f64
+        }
+    }
+}
+
+impl fmt::Display for DetectionScore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<18} attacks {:>5}  detected {:>5}  rate {:>6.1}%  fp {:>3}  latency {:>9.1}ms (p95 {:>7.1}ms)",
+            self.threat.to_string(),
+            self.attacks,
+            self.detected,
+            self.rate() * 100.0,
+            self.false_positives,
+            self.mean_detection_latency_us / 1_000.0,
+            self.p95_detection_latency_us as f64 / 1_000.0,
+        )
+    }
+}
+
+fn attacked_correlations(threat: ThreatKind, truth: &GroundTruth) -> Vec<CorrelationId> {
+    match threat {
+        ThreatKind::TamperRequest => truth.tampered_requests.clone(),
+        ThreatKind::TamperResponse => truth.tampered_responses.clone(),
+        ThreatKind::CorruptDecision => truth.corrupted_decisions.clone(),
+        ThreatKind::FlipEnforcement => truth.flipped_enforcements.clone(),
+        ThreatKind::DropLog => truth.dropped_logs.iter().map(|(c, _)| *c).collect(),
+        ThreatKind::TamperLog => truth.tampered_logs.iter().map(|(c, _)| *c).collect(),
+        ThreatKind::SwapPolicy => Vec::new(), // policy-level, scored globally
+    }
+}
+
+/// Scores one run for one threat.
+#[must_use]
+pub fn score(threat: ThreatKind, report: &MonitorReport, truth: &GroundTruth) -> DetectionScore {
+    let matchers = expected_alert_kinds(threat);
+    let matches = |k: &AlertKind| matchers.iter().any(|m| m(k));
+
+    if threat == ThreatKind::SwapPolicy {
+        // Policy swap is a single global attack; detection = any matching
+        // alert at all.
+        let detections: Vec<_> = report
+            .alerts
+            .iter()
+            .filter(|a| matches(&a.kind))
+            .collect();
+        let attacks = usize::from(truth.policy_swapped);
+        let detected = usize::from(truth.policy_swapped && !detections.is_empty());
+        let false_positives = usize::from(!truth.policy_swapped && !detections.is_empty());
+        let mut latencies: Vec<u64> = detections.iter().map(|a| a.detected_at).collect();
+        latencies.sort_unstable();
+        let first = latencies.first().copied().unwrap_or(0);
+        return DetectionScore {
+            threat,
+            attacks,
+            detected,
+            false_positives,
+            mean_detection_latency_us: first as f64,
+            p95_detection_latency_us: first,
+        };
+    }
+
+    let attacked: HashSet<CorrelationId> = attacked_correlations(threat, truth).into_iter().collect();
+    let mut detected_set: HashSet<CorrelationId> = HashSet::new();
+    let mut false_positives = 0usize;
+    let mut latencies: Vec<u64> = Vec::new();
+    for alert in &report.alerts {
+        if !matches(&alert.kind) {
+            continue;
+        }
+        if attacked.contains(&alert.correlation) {
+            if detected_set.insert(alert.correlation) {
+                latencies.push(alert.detected_at);
+            }
+        } else {
+            false_positives += 1;
+        }
+    }
+    latencies.sort_unstable();
+    let mean = if latencies.is_empty() {
+        0.0
+    } else {
+        latencies.iter().sum::<u64>() as f64 / latencies.len() as f64
+    };
+    let p95 = if latencies.is_empty() {
+        0
+    } else {
+        latencies[((latencies.len() as f64 * 0.95).ceil() as usize).saturating_sub(1)]
+    };
+    DetectionScore {
+        threat,
+        attacks: attacked.len(),
+        detected: detected_set.len(),
+        false_positives,
+        mean_detection_latency_us: mean,
+        p95_detection_latency_us: p95,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drams_core::alert::Alert;
+
+    fn report_with(alerts: Vec<Alert>) -> MonitorReport {
+        MonitorReport {
+            alerts,
+            ..MonitorReport::default()
+        }
+    }
+
+    #[test]
+    fn perfect_detection_scores_one() {
+        let truth = GroundTruth {
+            tampered_requests: vec![CorrelationId(1), CorrelationId(2)],
+            ..GroundTruth::default()
+        };
+        let report = report_with(vec![
+            Alert::new(AlertKind::RequestTampering, CorrelationId(1), 100, ""),
+            Alert::new(AlertKind::RequestTampering, CorrelationId(2), 200, ""),
+        ]);
+        let s = score(ThreatKind::TamperRequest, &report, &truth);
+        assert_eq!(s.attacks, 2);
+        assert_eq!(s.detected, 2);
+        assert_eq!(s.false_positives, 0);
+        assert_eq!(s.rate(), 1.0);
+        assert_eq!(s.mean_detection_latency_us, 150.0);
+    }
+
+    #[test]
+    fn missed_attack_lowers_rate() {
+        let truth = GroundTruth {
+            tampered_requests: vec![CorrelationId(1), CorrelationId(2)],
+            ..GroundTruth::default()
+        };
+        let report = report_with(vec![Alert::new(
+            AlertKind::RequestTampering,
+            CorrelationId(1),
+            100,
+            "",
+        )]);
+        let s = score(ThreatKind::TamperRequest, &report, &truth);
+        assert_eq!(s.rate(), 0.5);
+    }
+
+    #[test]
+    fn unrelated_alert_is_false_positive() {
+        let truth = GroundTruth::default();
+        let report = report_with(vec![Alert::new(
+            AlertKind::RequestTampering,
+            CorrelationId(9),
+            100,
+            "",
+        )]);
+        let s = score(ThreatKind::TamperRequest, &report, &truth);
+        assert_eq!(s.attacks, 0);
+        assert_eq!(s.false_positives, 1);
+        assert_eq!(s.rate(), 1.0); // no attacks to miss
+    }
+
+    #[test]
+    fn duplicate_alerts_count_once() {
+        let truth = GroundTruth {
+            corrupted_decisions: vec![CorrelationId(3)],
+            ..GroundTruth::default()
+        };
+        let report = report_with(vec![
+            Alert::new(AlertKind::PolicyViolation, CorrelationId(3), 100, ""),
+            Alert::new(AlertKind::PolicyViolation, CorrelationId(3), 150, ""),
+        ]);
+        let s = score(ThreatKind::CorruptDecision, &report, &truth);
+        assert_eq!(s.detected, 1);
+    }
+
+    #[test]
+    fn policy_swap_scored_globally() {
+        let truth = GroundTruth {
+            policy_swapped: true,
+            ..GroundTruth::default()
+        };
+        let report = report_with(vec![Alert::new(
+            AlertKind::WrongPolicyVersion,
+            CorrelationId(1),
+            500,
+            "",
+        )]);
+        let s = score(ThreatKind::SwapPolicy, &report, &truth);
+        assert_eq!(s.attacks, 1);
+        assert_eq!(s.detected, 1);
+        // undetected swap
+        let s2 = score(ThreatKind::SwapPolicy, &report_with(vec![]), &truth);
+        assert_eq!(s2.detected, 0);
+    }
+
+    #[test]
+    fn wrong_alert_kind_does_not_count() {
+        let truth = GroundTruth {
+            tampered_requests: vec![CorrelationId(1)],
+            ..GroundTruth::default()
+        };
+        let report = report_with(vec![Alert::new(
+            AlertKind::ResponseTampering,
+            CorrelationId(1),
+            100,
+            "",
+        )]);
+        let s = score(ThreatKind::TamperRequest, &report, &truth);
+        assert_eq!(s.detected, 0);
+    }
+}

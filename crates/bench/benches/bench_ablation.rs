@@ -1,0 +1,56 @@
+//! E8 (Criterion half): LI batching ablation and hybrid-store write cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drams_chain::chain::ChainConfig;
+use drams_chain::node::Node;
+use drams_core::adversary::NoAdversary;
+use drams_core::monitor::{run_monitor, MonitorConfig};
+use drams_crypto::schnorr::Keypair;
+use drams_store::{AnchorContract, AnchoredStore};
+
+fn bench_li_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("li_batch");
+    group.sample_size(10);
+    for batch in [1usize, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter(|| {
+                let config = MonitorConfig {
+                    total_requests: 80,
+                    request_rate_per_sec: 200.0,
+                    li_batch_size: batch,
+                    ..MonitorConfig::default()
+                };
+                run_monitor(&config, &mut NoAdversary)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_hybrid_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_append_1k");
+    group.sample_size(10);
+    for period in [8usize, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &period| {
+            b.iter(|| {
+                let mut node = Node::new(ChainConfig {
+                    initial_difficulty_bits: 0,
+                    retarget_interval: 0,
+                    ..ChainConfig::default()
+                });
+                node.register_contract(Box::new(AnchorContract));
+                let mut store = AnchoredStore::new(period, Keypair::from_seed(b"bench"));
+                for i in 0..1_000u64 {
+                    store
+                        .append(format!("entry-{i}").into_bytes(), &mut node)
+                        .unwrap();
+                }
+                (store.anchors_submitted(), node.mempool_len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_li_batching, bench_hybrid_append);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Chain micro-benchmarks: mining at various difficulties, block
+//! validation, transaction verification (the wall-clock backing of E2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drams_chain::block::Block;
+use drams_chain::tx::Transaction;
+use drams_crypto::schnorr::Keypair;
+use drams_crypto::sha256::Digest;
+
+fn sample_txs(n: usize) -> Vec<Transaction> {
+    let kp = Keypair::from_seed(b"bench-chain");
+    (0..n)
+        .map(|i| Transaction::new_signed(&kp, i as u64, "monitor", "store", vec![0u8; 128]))
+        .collect()
+}
+
+fn bench_mining(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mine");
+    group.sample_size(10);
+    for bits in [4u32, 8, 12] {
+        group.bench_with_input(BenchmarkId::from_parameter(bits), &bits, |b, &bits| {
+            let mut nonce_seed = 0u64;
+            b.iter(|| {
+                // vary the parent so each iteration mines fresh work
+                nonce_seed += 1;
+                Block::mine(
+                    Digest::of(&nonce_seed.to_be_bytes()),
+                    1,
+                    vec![],
+                    nonce_seed,
+                    bits,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_validation(c: &mut Criterion) {
+    let block = Block::mine(Digest::ZERO, 0, sample_txs(32), 0, 8);
+    c.bench_function("validate_standalone/32-txs", |b| {
+        b.iter(|| block.validate_standalone().unwrap());
+    });
+    let tx = &block.transactions[0];
+    c.bench_function("tx/verify_signature", |b| {
+        b.iter(|| tx.verify_signature().unwrap());
+    });
+    c.bench_function("tx/id", |b| {
+        b.iter(|| tx.id());
+    });
+}
+
+criterion_group!(benches, bench_mining, bench_validation);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the cryptographic substrate (supports the
+//! interpretation of E1–E3: how much of the storage latency is hashing,
+//! encryption and signature cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drams_crypto::aead::{open, seal, SymmetricKey};
+use drams_crypto::hmac::hmac_sha256;
+use drams_crypto::merkle::MerkleTree;
+use drams_crypto::schnorr::Keypair;
+use drams_crypto::sha256::Digest;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 16384] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| Digest::of(data));
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let data = vec![0u8; 1024];
+    c.bench_function("hmac_sha256/1KiB", |b| {
+        b.iter(|| hmac_sha256(b"key", &data));
+    });
+}
+
+fn bench_aead(c: &mut Criterion) {
+    let key = SymmetricKey::from_bytes([7; 32]);
+    let mut group = c.benchmark_group("aead");
+    for size in [256usize, 4096] {
+        let plain = vec![0x55u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("seal", size), &plain, |b, plain| {
+            b.iter(|| seal(&key, [1; 12], b"aad", plain));
+        });
+        let sealed = seal(&key, [1; 12], b"aad", &plain);
+        group.bench_with_input(BenchmarkId::new("open", size), &sealed, |b, sealed| {
+            b.iter(|| open(&key, b"aad", sealed).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_merkle(c: &mut Criterion) {
+    let leaves: Vec<Vec<u8>> = (0..256u32).map(|i| i.to_be_bytes().to_vec()).collect();
+    c.bench_function("merkle/build-256", |b| {
+        b.iter(|| MerkleTree::from_leaves(leaves.iter().map(Vec::as_slice)));
+    });
+    let tree = MerkleTree::from_leaves(leaves.iter().map(Vec::as_slice));
+    let proof = tree.proof(100).unwrap();
+    let root = tree.root();
+    c.bench_function("merkle/verify-proof-256", |b| {
+        b.iter(|| proof.verify(&root, &leaves[100]));
+    });
+}
+
+fn bench_schnorr(c: &mut Criterion) {
+    let kp = Keypair::from_seed(b"bench");
+    let msg = b"a log entry submission";
+    c.bench_function("schnorr/sign", |b| {
+        b.iter(|| kp.sign(msg));
+    });
+    let sig = kp.sign(msg);
+    c.bench_function("schnorr/verify", |b| {
+        b.iter(|| kp.public().verify(msg, &sig).unwrap());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_sha256,
+    bench_hmac,
+    bench_aead,
+    bench_merkle,
+    bench_schnorr
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! E6/E7 (Criterion half): wall-clock cost of whole monitored-federation
+//! simulation runs — monitoring off vs on, and at federation scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drams_core::adversary::NoAdversary;
+use drams_core::monitor::{run_monitor, MonitorConfig};
+use drams_faas::model::FederationSpec;
+
+fn bench_monitoring_on_off(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_run_100req");
+    group.sample_size(10);
+    for (name, enabled) in [("off", false), ("on", true)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            b.iter(|| {
+                let config = MonitorConfig {
+                    total_requests: 100,
+                    request_rate_per_sec: 200.0,
+                    monitoring_enabled: enabled,
+                    analyser_enabled: enabled,
+                    ..MonitorConfig::default()
+                };
+                run_monitor(&config, &mut NoAdversary)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_federation_scale(c: &mut Criterion) {
+    let mut group = c.benchmark_group("monitor_run_scale");
+    group.sample_size(10);
+    for tenants in [2u32, 8] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(tenants),
+            &tenants,
+            |b, &tenants| {
+                b.iter(|| {
+                    let config = MonitorConfig {
+                        federation: FederationSpec::symmetric(tenants, 1, 2),
+                        total_requests: 100,
+                        request_rate_per_sec: 200.0,
+                        ..MonitorConfig::default()
+                    };
+                    run_monitor(&config, &mut NoAdversary)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_monitoring_on_off, bench_federation_scale);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E1 (Criterion half): wall-clock cost of committing a log entry to the
+//! chain, swept over entry size and PoW difficulty.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use drams_bench::log_entry_of_size;
+use drams_chain::chain::ChainConfig;
+use drams_chain::node::Node;
+use drams_core::contract::{MonitorContract, MONITOR_CONTRACT};
+use drams_crypto::codec::Encode;
+use drams_crypto::schnorr::Keypair;
+
+fn committed_entry(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_log_commit");
+    group.sample_size(10);
+    for payload in [64usize, 4096] {
+        for bits in [4u32, 10] {
+            let id = format!("{payload}B/{bits}bits");
+            group.throughput(Throughput::Elements(1));
+            group.bench_function(BenchmarkId::from_parameter(id), |b| {
+                b.iter_batched(
+                    || {
+                        let mut node = Node::new(ChainConfig {
+                            initial_difficulty_bits: bits,
+                            retarget_interval: 0,
+                            ..ChainConfig::default()
+                        });
+                        node.register_contract(Box::new(MonitorContract));
+                        let li = Keypair::from_seed(b"bench-li");
+                        node.submit_call(
+                            &li,
+                            MONITOR_CONTRACT,
+                            "init",
+                            MonitorContract::init_payload(10_000, li.public().fingerprint()),
+                        )
+                        .unwrap();
+                        node.mine_block(0).unwrap();
+                        let entry = log_entry_of_size(1, payload);
+                        (node, li, entry.to_canonical_bytes())
+                    },
+                    |(mut node, li, payload_bytes)| {
+                        node.submit_call(&li, MONITOR_CONTRACT, "store_log", payload_bytes)
+                            .unwrap();
+                        node.mine_block(1_000).unwrap();
+                        node
+                    },
+                    criterion::BatchSize::SmallInput,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, committed_entry);
+criterion_main!(benches);

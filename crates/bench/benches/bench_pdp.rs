@@ -1,0 +1,84 @@
+//! E5 (Criterion half): PDP decision latency vs policy-base size, and
+//! Analyser re-evaluation throughput.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use drams_analysis::verify::DecisionVerifier;
+use drams_faas::workload::{PolicyGenerator, PolicyShape, RequestGenerator, Vocabulary};
+use drams_policy::pdp::Pdp;
+
+fn bench_pdp_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pdp_evaluate");
+    for policies in [10usize, 100, 500] {
+        let mut pgen = PolicyGenerator::new(Vocabulary::default(), 5);
+        let set = pgen.next_policy_set(&PolicyShape {
+            policies,
+            rules_per_policy: 5,
+            ..PolicyShape::default()
+        });
+        let pdp = Pdp::new(set);
+        let mut rgen = RequestGenerator::new(Vocabulary::default(), 1.0, 6);
+        let requests: Vec<_> = (0..64).map(|_| rgen.next_request()).collect();
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policies),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    i = (i + 1) % requests.len();
+                    pdp.evaluate(&requests[i])
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_analyser_reevaluation(c: &mut Criterion) {
+    let mut pgen = PolicyGenerator::new(Vocabulary::default(), 5);
+    let set = pgen.next_policy_set(&PolicyShape {
+        policies: 50,
+        rules_per_policy: 5,
+        ..PolicyShape::default()
+    });
+    let verifier = DecisionVerifier::new(set);
+    let mut rgen = RequestGenerator::new(Vocabulary::default(), 1.0, 6);
+    let pairs: Vec<_> = (0..64)
+        .map(|_| {
+            let req = rgen.next_request();
+            let resp = verifier.expected_response(&req);
+            (req, resp)
+        })
+        .collect();
+    let mut i = 0usize;
+    c.bench_function("analyser_verify/50-policies", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            verifier.verify(&pairs[i].0, &pairs[i].1)
+        });
+    });
+}
+
+fn bench_completeness_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completeness");
+    group.sample_size(10);
+    for policies in [5usize, 20] {
+        let mut pgen = PolicyGenerator::new(Vocabulary::default(), 5);
+        let set = pgen.next_policy_set(&PolicyShape {
+            policies,
+            rules_per_policy: 4,
+            ..PolicyShape::default()
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(policies), &set, |b, set| {
+            b.iter(|| drams_analysis::completeness(set).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pdp_scaling,
+    bench_analyser_reevaluation,
+    bench_completeness_analysis
+);
+criterion_main!(benches);

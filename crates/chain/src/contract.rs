@@ -1,0 +1,495 @@
+//! Smart-contract runtime.
+//!
+//! The paper's monitoring checks run as a smart contract on a private
+//! blockchain (§II: "Smart-contract blockchain: … storing and comparing
+//! logs, using expressly devised algorithms"). This module provides the
+//! deterministic execution environment: per-contract key-value storage
+//! with journaled rollback, an append-only event log (the channel through
+//! which security alerts reach the Logging Interfaces), and a host that
+//! executes main-chain blocks in order and re-executes deterministically
+//! after a reorg.
+
+use crate::block::{Block, BlockHash};
+use crate::chain::Blockchain;
+use crate::tx::TxId;
+use drams_crypto::schnorr::PublicKey;
+use drams_crypto::sha256::Digest;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// An event emitted by a contract during execution — DRAMS security
+/// alerts travel this way.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Emitting contract.
+    pub contract: String,
+    /// Event name, e.g. `alert.request_tampering`.
+    pub name: String,
+    /// Canonical-encoded event payload.
+    pub data: Vec<u8>,
+    /// Height of the block whose execution emitted this.
+    pub block_height: u64,
+    /// Timestamp of that block.
+    pub timestamp_ms: u64,
+    /// The transaction that triggered it.
+    pub tx_id: TxId,
+}
+
+/// Per-contract storage with an undo journal, so a failed transaction
+/// rolls back exactly its own writes.
+#[derive(Debug, Default)]
+pub struct Storage {
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    journal: Vec<(Vec<u8>, Option<Vec<u8>>)>,
+}
+
+impl Storage {
+    /// Reads a value.
+    #[must_use]
+    pub fn get(&self, key: &[u8]) -> Option<&Vec<u8>> {
+        self.map.get(key)
+    }
+
+    /// Writes a value, journaling the previous one.
+    pub fn insert(&mut self, key: Vec<u8>, value: Vec<u8>) {
+        let old = self.map.insert(key.clone(), value);
+        self.journal.push((key, old));
+    }
+
+    /// Removes a value, journaling the previous one.
+    pub fn remove(&mut self, key: &[u8]) -> Option<Vec<u8>> {
+        let old = self.map.remove(key);
+        self.journal.push((key.to_vec(), old.clone()));
+        old
+    }
+
+    /// Iterates over entries with a given key prefix.
+    pub fn scan_prefix<'a>(
+        &'a self,
+        prefix: &'a [u8],
+    ) -> impl Iterator<Item = (&'a Vec<u8>, &'a Vec<u8>)> + 'a {
+        self.map
+            .range(prefix.to_vec()..)
+            .take_while(move |(k, _)| k.starts_with(prefix))
+    }
+
+    /// Number of stored entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    fn begin_tx(&mut self) {
+        self.journal.clear();
+    }
+
+    fn rollback(&mut self) {
+        while let Some((key, old)) = self.journal.pop() {
+            match old {
+                Some(v) => {
+                    self.map.insert(key, v);
+                }
+                None => {
+                    self.map.remove(&key);
+                }
+            }
+        }
+    }
+}
+
+/// Execution context passed to a contract method.
+#[derive(Debug)]
+pub struct ExecutionContext<'a> {
+    /// The contract's own storage.
+    pub storage: &'a mut Storage,
+    /// Sink for emitted events.
+    events: &'a mut Vec<Event>,
+    /// Current block height.
+    pub block_height: u64,
+    /// Current block timestamp.
+    pub timestamp_ms: u64,
+    /// The transaction sender.
+    pub sender: PublicKey,
+    /// The transaction id.
+    pub tx_id: TxId,
+    contract_name: String,
+}
+
+impl ExecutionContext<'_> {
+    /// Emits an event.
+    pub fn emit(&mut self, name: impl Into<String>, data: Vec<u8>) {
+        self.events.push(Event {
+            contract: self.contract_name.clone(),
+            name: name.into(),
+            data,
+            block_height: self.block_height,
+            timestamp_ms: self.timestamp_ms,
+            tx_id: self.tx_id,
+        });
+    }
+
+    /// The sender's address fingerprint.
+    #[must_use]
+    pub fn sender_address(&self) -> Digest {
+        self.sender.fingerprint()
+    }
+}
+
+/// A deterministic smart contract. Implementations must be pure functions
+/// of (storage, method, payload, context) — no clocks, no randomness —
+/// so that re-execution after a reorg reproduces identical state.
+pub trait SmartContract: Send + Sync {
+    /// The contract's registry name.
+    fn name(&self) -> &str;
+
+    /// Executes one method call.
+    ///
+    /// # Errors
+    ///
+    /// A returned error aborts the call; the host rolls back the call's
+    /// storage writes and records a `tx.failed` event.
+    fn execute(
+        &self,
+        ctx: &mut ExecutionContext<'_>,
+        method: &str,
+        payload: &[u8],
+    ) -> Result<(), String>;
+}
+
+/// Receipt describing how a transaction executed.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// Executed successfully.
+    Ok,
+    /// Contract rejected it (storage rolled back).
+    Failed(String),
+    /// Skipped: sender nonce did not match the account state.
+    BadNonce,
+    /// Skipped: no such contract.
+    NoContract,
+}
+
+/// Executes main-chain blocks against registered contracts.
+pub struct ContractHost {
+    contracts: BTreeMap<String, Box<dyn SmartContract>>,
+    storage: BTreeMap<String, Storage>,
+    events: Vec<Event>,
+    receipts: BTreeMap<TxId, (u64, TxStatus)>,
+    account_nonces: BTreeMap<Digest, u64>,
+    executed: Vec<BlockHash>,
+}
+
+impl std::fmt::Debug for ContractHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContractHost")
+            .field("contracts", &self.contracts.keys().collect::<Vec<_>>())
+            .field("executed_blocks", &self.executed.len())
+            .field("events", &self.events.len())
+            .finish()
+    }
+}
+
+impl Default for ContractHost {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ContractHost {
+    /// Creates an empty host.
+    #[must_use]
+    pub fn new() -> Self {
+        ContractHost {
+            contracts: BTreeMap::new(),
+            storage: BTreeMap::new(),
+            events: Vec::new(),
+            receipts: BTreeMap::new(),
+            account_nonces: BTreeMap::new(),
+            executed: Vec::new(),
+        }
+    }
+
+    /// Registers a contract under its own name.
+    pub fn register(&mut self, contract: Box<dyn SmartContract>) {
+        let name = contract.name().to_string();
+        self.storage.entry(name.clone()).or_default();
+        self.contracts.insert(name, contract);
+    }
+
+    /// The account nonce expected from `sender`'s next transaction.
+    #[must_use]
+    pub fn account_nonce(&self, sender: &PublicKey) -> u64 {
+        *self
+            .account_nonces
+            .get(&sender.fingerprint())
+            .unwrap_or(&0)
+    }
+
+    /// Read-only view of a contract's storage.
+    #[must_use]
+    pub fn storage_of(&self, contract: &str) -> Option<&Storage> {
+        self.storage.get(contract)
+    }
+
+    /// All events emitted so far, in execution order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events from `cursor` on; returns the new cursor.
+    #[must_use]
+    pub fn events_since(&self, cursor: usize) -> (&[Event], usize) {
+        let slice = &self.events[cursor.min(self.events.len())..];
+        (slice, self.events.len())
+    }
+
+    /// The receipt for a transaction, with the block height it executed in.
+    #[must_use]
+    pub fn receipt(&self, tx: &TxId) -> Option<&(u64, TxStatus)> {
+        self.receipts.get(tx)
+    }
+
+    /// Number of main-chain blocks executed.
+    #[must_use]
+    pub fn executed_height(&self) -> Option<u64> {
+        (!self.executed.is_empty()).then(|| self.executed.len() as u64 - 1)
+    }
+
+    /// Brings contract state in sync with `chain`'s main chain.
+    ///
+    /// If the executed prefix still matches, only the new suffix is
+    /// executed; after a reorg the whole state is deterministically rebuilt
+    /// from genesis.
+    pub fn sync_with(&mut self, chain: &Blockchain) {
+        let main = chain.main_chain_hashes();
+        let prefix_ok = self.executed.len() <= main.len()
+            && self.executed.iter().zip(main.iter()).all(|(a, b)| a == b);
+        if !prefix_ok {
+            self.reset();
+        }
+        let start = self.executed.len();
+        for hash in &main[start..] {
+            let block = chain.block(hash).expect("main chain block exists");
+            self.execute_block(block);
+            self.executed.push(*hash);
+        }
+    }
+
+    fn reset(&mut self) {
+        for storage in self.storage.values_mut() {
+            *storage = Storage::default();
+        }
+        self.events.clear();
+        self.receipts.clear();
+        self.account_nonces.clear();
+        self.executed.clear();
+    }
+
+    fn execute_block(&mut self, block: &Block) {
+        for tx in &block.transactions {
+            let tx_id = tx.id();
+            let status = self.execute_tx(block, tx);
+            self.receipts.insert(tx_id, (block.header.height, status));
+        }
+    }
+
+    fn execute_tx(&mut self, block: &Block, tx: &crate::tx::Transaction) -> TxStatus {
+        let sender_addr = tx.sender.fingerprint();
+        let expected_nonce = *self.account_nonces.get(&sender_addr).unwrap_or(&0);
+        if tx.nonce != expected_nonce {
+            return TxStatus::BadNonce;
+        }
+        let Some(contract) = self.contracts.get(&tx.contract) else {
+            return TxStatus::NoContract;
+        };
+        let storage = self
+            .storage
+            .get_mut(&tx.contract)
+            .expect("storage created at registration");
+        storage.begin_tx();
+        let mut scratch_events = Vec::new();
+        let mut ctx = ExecutionContext {
+            storage,
+            events: &mut scratch_events,
+            block_height: block.header.height,
+            timestamp_ms: block.header.timestamp_ms,
+            sender: tx.sender,
+            tx_id: tx.id(),
+            contract_name: tx.contract.clone(),
+        };
+        let result = contract.execute(&mut ctx, &tx.method, &tx.payload);
+        match result {
+            Ok(()) => {
+                self.account_nonces.insert(sender_addr, expected_nonce + 1);
+                self.events.extend(scratch_events);
+                TxStatus::Ok
+            }
+            Err(msg) => {
+                storage.rollback();
+                // A failed call still consumes the nonce (like gas-metered
+                // chains), so a stuck transaction cannot wedge an account.
+                self.account_nonces.insert(sender_addr, expected_nonce + 1);
+                self.events.push(Event {
+                    contract: tx.contract.clone(),
+                    name: "tx.failed".into(),
+                    data: msg.clone().into_bytes(),
+                    block_height: block.header.height,
+                    timestamp_ms: block.header.timestamp_ms,
+                    tx_id: tx.id(),
+                });
+                TxStatus::Failed(msg)
+            }
+        }
+    }
+}
+
+/// A trivial contract that stores `payload` under an incrementing key —
+/// the baseline "just put logs on chain" contract used in benchmarks.
+#[derive(Debug, Default)]
+pub struct KvStoreContract;
+
+impl SmartContract for KvStoreContract {
+    fn name(&self) -> &str {
+        "kvstore"
+    }
+
+    fn execute(
+        &self,
+        ctx: &mut ExecutionContext<'_>,
+        method: &str,
+        payload: &[u8],
+    ) -> Result<(), String> {
+        match method {
+            "put" => {
+                let seq = ctx.storage.len() as u64;
+                ctx.storage.insert(seq.to_be_bytes().to_vec(), payload.to_vec());
+                ctx.emit("stored", seq.to_be_bytes().to_vec());
+                Ok(())
+            }
+            "fail" => Err("requested failure".into()),
+            other => Err(format!("unknown method `{other}`")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{Blockchain, ChainConfig};
+    use crate::tx::Transaction;
+    use drams_crypto::schnorr::Keypair;
+
+    fn config() -> ChainConfig {
+        ChainConfig {
+            initial_difficulty_bits: 0,
+            ..ChainConfig::default()
+        }
+    }
+
+    fn setup() -> (Blockchain, ContractHost, Keypair) {
+        let chain = Blockchain::new(config());
+        let mut host = ContractHost::new();
+        host.register(Box::new(KvStoreContract));
+        (chain, host, Keypair::from_seed(b"host-tests"))
+    }
+
+    fn mine_with(chain: &mut Blockchain, txs: Vec<Transaction>, ts: u64) {
+        let tip = chain.tip_hash();
+        let height = chain.tip_header().height + 1;
+        let bits = chain.required_difficulty(&tip).unwrap();
+        let block = Block::mine(tip, height, txs, ts, bits);
+        chain.import(block).unwrap();
+    }
+
+    #[test]
+    fn executes_blocks_and_emits_events() {
+        let (mut chain, mut host, kp) = setup();
+        let tx = Transaction::new_signed(&kp, 0, "kvstore", "put", b"hello".to_vec());
+        let id = tx.id();
+        mine_with(&mut chain, vec![tx], 1000);
+        host.sync_with(&chain);
+        assert_eq!(host.events().len(), 1);
+        assert_eq!(host.events()[0].name, "stored");
+        assert_eq!(host.receipt(&id).unwrap().1, TxStatus::Ok);
+        assert_eq!(host.storage_of("kvstore").unwrap().len(), 1);
+        assert_eq!(host.account_nonce(&kp.public()), 1);
+    }
+
+    #[test]
+    fn failed_tx_rolls_back_and_consumes_nonce() {
+        let (mut chain, mut host, kp) = setup();
+        let tx = Transaction::new_signed(&kp, 0, "kvstore", "fail", vec![]);
+        let id = tx.id();
+        mine_with(&mut chain, vec![tx], 1000);
+        host.sync_with(&chain);
+        assert!(matches!(host.receipt(&id).unwrap().1, TxStatus::Failed(_)));
+        assert!(host.storage_of("kvstore").unwrap().is_empty());
+        assert_eq!(host.account_nonce(&kp.public()), 1);
+        assert_eq!(host.events()[0].name, "tx.failed");
+    }
+
+    #[test]
+    fn bad_nonce_is_skipped() {
+        let (mut chain, mut host, kp) = setup();
+        let tx = Transaction::new_signed(&kp, 5, "kvstore", "put", vec![]);
+        let id = tx.id();
+        mine_with(&mut chain, vec![tx], 1000);
+        host.sync_with(&chain);
+        assert_eq!(host.receipt(&id).unwrap().1, TxStatus::BadNonce);
+        assert_eq!(host.account_nonce(&kp.public()), 0);
+    }
+
+    #[test]
+    fn unknown_contract_is_skipped() {
+        let (mut chain, mut host, kp) = setup();
+        let tx = Transaction::new_signed(&kp, 0, "ghost", "put", vec![]);
+        let id = tx.id();
+        mine_with(&mut chain, vec![tx], 1000);
+        host.sync_with(&chain);
+        assert_eq!(host.receipt(&id).unwrap().1, TxStatus::NoContract);
+    }
+
+    #[test]
+    fn incremental_sync_only_executes_suffix() {
+        let (mut chain, mut host, kp) = setup();
+        let tx0 = Transaction::new_signed(&kp, 0, "kvstore", "put", b"a".to_vec());
+        mine_with(&mut chain, vec![tx0], 1000);
+        host.sync_with(&chain);
+        let tx1 = Transaction::new_signed(&kp, 1, "kvstore", "put", b"b".to_vec());
+        mine_with(&mut chain, vec![tx1], 2000);
+        host.sync_with(&chain);
+        assert_eq!(host.storage_of("kvstore").unwrap().len(), 2);
+        assert_eq!(host.executed_height(), Some(2));
+    }
+
+    #[test]
+    fn storage_journal_rolls_back_overwrites() {
+        let mut s = Storage::default();
+        s.insert(b"k".to_vec(), b"v1".to_vec());
+        s.begin_tx();
+        s.insert(b"k".to_vec(), b"v2".to_vec());
+        s.insert(b"k2".to_vec(), b"x".to_vec());
+        s.remove(b"k");
+        s.rollback();
+        assert_eq!(s.get(b"k"), Some(&b"v1".to_vec()));
+        assert_eq!(s.get(b"k2"), None);
+    }
+
+    #[test]
+    fn scan_prefix_is_ordered_and_bounded() {
+        let mut s = Storage::default();
+        s.insert(b"a.1".to_vec(), b"1".to_vec());
+        s.insert(b"a.2".to_vec(), b"2".to_vec());
+        s.insert(b"b.1".to_vec(), b"3".to_vec());
+        let hits: Vec<_> = s.scan_prefix(b"a.").collect();
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].1, &b"1".to_vec());
+    }
+}

@@ -1,0 +1,161 @@
+//! Pending-transaction pool.
+
+use crate::error::ChainError;
+use crate::tx::{Transaction, TxId};
+use std::collections::HashSet;
+
+/// A FIFO mempool with duplicate suppression.
+///
+/// Ordering is arrival order, which combined with per-sender sequential
+/// nonces gives deterministic execution order within each block.
+#[derive(Debug, Default)]
+pub struct Mempool {
+    queue: Vec<Transaction>,
+    ids: HashSet<TxId>,
+}
+
+impl Mempool {
+    /// Creates an empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transaction.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::DuplicateTransaction`] if the id is already pending.
+    pub fn add(&mut self, tx: Transaction) -> Result<TxId, ChainError> {
+        let id = tx.id();
+        if !self.ids.insert(id) {
+            return Err(ChainError::DuplicateTransaction);
+        }
+        self.queue.push(tx);
+        Ok(id)
+    }
+
+    /// Takes up to `n` transactions in arrival order.
+    pub fn take(&mut self, n: usize) -> Vec<Transaction> {
+        let n = n.min(self.queue.len());
+        let taken: Vec<Transaction> = self.queue.drain(..n).collect();
+        for tx in &taken {
+            self.ids.remove(&tx.id());
+        }
+        taken
+    }
+
+    /// Removes any pending transactions whose ids are in `included`
+    /// (called after importing a block mined elsewhere).
+    pub fn prune<'a>(&mut self, included: impl IntoIterator<Item = &'a TxId>) {
+        let included: HashSet<&TxId> = included.into_iter().collect();
+        self.queue.retain(|tx| !included.contains(&tx.id()));
+        self.ids.retain(|id| !included.contains(id));
+    }
+
+    /// Re-queues transactions (e.g. returned by an abandoned fork) at the
+    /// front, preserving their relative order; duplicates are dropped.
+    pub fn requeue_front(&mut self, txs: Vec<Transaction>) {
+        let mut front = Vec::new();
+        for tx in txs {
+            if self.ids.insert(tx.id()) {
+                front.push(tx);
+            }
+        }
+        front.append(&mut self.queue);
+        self.queue = front;
+    }
+
+    /// Number of pending transactions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Whether a transaction is pending.
+    #[must_use]
+    pub fn contains(&self, id: &TxId) -> bool {
+        self.ids.contains(id)
+    }
+
+    /// Pending transactions from `sender` (used for nonce assignment).
+    #[must_use]
+    pub fn pending_from(&self, sender: &drams_crypto::schnorr::PublicKey) -> usize {
+        self.queue.iter().filter(|tx| tx.sender == *sender).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drams_crypto::schnorr::Keypair;
+
+    fn tx(nonce: u64) -> Transaction {
+        let kp = Keypair::from_seed(b"mempool-tests");
+        Transaction::new_signed(&kp, nonce, "c", "m", vec![nonce as u8])
+    }
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut pool = Mempool::new();
+        for i in 0..5 {
+            pool.add(tx(i)).unwrap();
+        }
+        let taken = pool.take(3);
+        assert_eq!(taken.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(pool.len(), 2);
+        assert!(!pool.contains(&taken[0].id()));
+    }
+
+    #[test]
+    fn duplicates_rejected() {
+        let mut pool = Mempool::new();
+        pool.add(tx(0)).unwrap();
+        assert_eq!(pool.add(tx(0)), Err(ChainError::DuplicateTransaction));
+    }
+
+    #[test]
+    fn take_more_than_available() {
+        let mut pool = Mempool::new();
+        pool.add(tx(0)).unwrap();
+        assert_eq!(pool.take(10).len(), 1);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn prune_removes_included() {
+        let mut pool = Mempool::new();
+        let a = pool.add(tx(0)).unwrap();
+        pool.add(tx(1)).unwrap();
+        pool.prune([&a]);
+        assert_eq!(pool.len(), 1);
+        assert!(!pool.contains(&a));
+    }
+
+    #[test]
+    fn requeue_front_restores_order_without_duplicates() {
+        let mut pool = Mempool::new();
+        pool.add(tx(2)).unwrap();
+        let orphaned = vec![tx(0), tx(1), tx(2)];
+        pool.requeue_front(orphaned);
+        let taken = pool.take(3);
+        assert_eq!(taken.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn pending_from_counts_sender() {
+        let mut pool = Mempool::new();
+        pool.add(tx(0)).unwrap();
+        pool.add(tx(1)).unwrap();
+        let kp = Keypair::from_seed(b"mempool-tests");
+        assert_eq!(pool.pending_from(&kp.public()), 2);
+        let other = Keypair::from_seed(b"someone-else");
+        assert_eq!(pool.pending_from(&other.public()), 0);
+    }
+}

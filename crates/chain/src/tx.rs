@@ -1,0 +1,203 @@
+//! Signed smart-contract transactions.
+//!
+//! Every DRAMS log entry reaches the blockchain as a transaction invoking
+//! the monitor contract. Transactions are Schnorr-signed by the submitting
+//! Logging Interface, making log submissions non-repudiable (paper §I).
+
+use crate::error::ChainError;
+use drams_crypto::codec::{Decode, Encode, Reader, Writer};
+use drams_crypto::schnorr::{Keypair, PublicKey, Signature};
+use drams_crypto::sha256::Digest;
+use serde::{Deserialize, Serialize};
+
+/// A transaction identifier (SHA-256 of the canonical encoding).
+pub type TxId = Digest;
+
+/// A signed contract invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Transaction {
+    /// The submitting account's public key.
+    pub sender: PublicKey,
+    /// Per-sender sequence number, starting at 0.
+    pub nonce: u64,
+    /// Name of the target contract.
+    pub contract: String,
+    /// Method to invoke.
+    pub method: String,
+    /// Canonical-encoded method arguments.
+    pub payload: Vec<u8>,
+    /// Schnorr signature over the signing bytes.
+    pub signature: Signature,
+}
+
+impl Transaction {
+    /// Builds and signs a transaction.
+    #[must_use]
+    pub fn new_signed(
+        keypair: &Keypair,
+        nonce: u64,
+        contract: impl Into<String>,
+        method: impl Into<String>,
+        payload: Vec<u8>,
+    ) -> Transaction {
+        let contract = contract.into();
+        let method = method.into();
+        let signing = signing_bytes(&keypair.public(), nonce, &contract, &method, &payload);
+        let signature = keypair.sign(&signing);
+        Transaction {
+            sender: keypair.public(),
+            nonce,
+            contract,
+            method,
+            payload,
+            signature,
+        }
+    }
+
+    /// The transaction id: SHA-256 of the canonical encoding.
+    #[must_use]
+    pub fn id(&self) -> TxId {
+        self.canonical_digest()
+    }
+
+    /// Verifies the sender's signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::BadSignature`] when verification fails.
+    pub fn verify_signature(&self) -> Result<(), ChainError> {
+        let signing = signing_bytes(
+            &self.sender,
+            self.nonce,
+            &self.contract,
+            &self.method,
+            &self.payload,
+        );
+        self.sender
+            .verify(&signing, &self.signature)
+            .map_err(ChainError::from)
+    }
+
+    /// Approximate wire size in bytes (used by the log-size experiments).
+    #[must_use]
+    pub fn wire_len(&self) -> usize {
+        self.to_canonical_bytes().len()
+    }
+
+    /// The sender's address (public-key fingerprint).
+    #[must_use]
+    pub fn sender_address(&self) -> Digest {
+        self.sender.fingerprint()
+    }
+}
+
+fn signing_bytes(
+    sender: &PublicKey,
+    nonce: u64,
+    contract: &str,
+    method: &str,
+    payload: &[u8],
+) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_raw(b"drams.tx.v1");
+    sender.encode(&mut w);
+    w.put_u64(nonce);
+    w.put_str(contract);
+    w.put_str(method);
+    w.put_bytes(payload);
+    w.into_bytes()
+}
+
+impl Encode for Transaction {
+    fn encode(&self, w: &mut Writer) {
+        self.sender.encode(w);
+        w.put_u64(self.nonce);
+        w.put_str(&self.contract);
+        w.put_str(&self.method);
+        w.put_bytes(&self.payload);
+        self.signature.encode(w);
+    }
+}
+
+impl Decode for Transaction {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, drams_crypto::CryptoError> {
+        Ok(Transaction {
+            sender: PublicKey::decode(r)?,
+            nonce: r.get_u64()?,
+            contract: r.get_str()?,
+            method: r.get_str()?,
+            payload: r.get_bytes()?,
+            signature: Signature::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keypair() -> Keypair {
+        Keypair::from_seed(b"tx-tests")
+    }
+
+    fn tx() -> Transaction {
+        Transaction::new_signed(&keypair(), 0, "monitor", "store_log", b"payload".to_vec())
+    }
+
+    #[test]
+    fn signature_verifies() {
+        tx().verify_signature().unwrap();
+    }
+
+    #[test]
+    fn tampered_payload_rejected() {
+        let mut t = tx();
+        t.payload = b"tampered".to_vec();
+        assert_eq!(t.verify_signature(), Err(ChainError::BadSignature));
+    }
+
+    #[test]
+    fn tampered_nonce_rejected() {
+        let mut t = tx();
+        t.nonce = 99;
+        assert!(t.verify_signature().is_err());
+    }
+
+    #[test]
+    fn tampered_method_rejected() {
+        let mut t = tx();
+        t.method = "delete_log".into();
+        assert!(t.verify_signature().is_err());
+    }
+
+    #[test]
+    fn substituted_sender_rejected() {
+        let mut t = tx();
+        t.sender = Keypair::from_seed(b"attacker").public();
+        assert!(t.verify_signature().is_err());
+    }
+
+    #[test]
+    fn id_changes_with_content() {
+        let a = tx();
+        let b = Transaction::new_signed(&keypair(), 1, "monitor", "store_log", b"payload".to_vec());
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        let t = tx();
+        let bytes = t.to_canonical_bytes();
+        let back = Transaction::from_canonical_bytes(&bytes).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.id(), t.id());
+        back.verify_signature().unwrap();
+    }
+
+    #[test]
+    fn wire_len_scales_with_payload() {
+        let small = Transaction::new_signed(&keypair(), 0, "m", "s", vec![0; 16]);
+        let large = Transaction::new_signed(&keypair(), 0, "m", "s", vec![0; 4096]);
+        assert!(large.wire_len() > small.wire_len() + 4000);
+    }
+}

@@ -1,0 +1,105 @@
+//! Adversary interface — the hooks through which attacks are injected.
+//!
+//! The monitor simulation calls these hooks at every interception point
+//! the paper's threat model names (§I: components may be compromised so
+//! that "access requests or responses are modified, or the policies and
+//! the evaluation process are altered"). Each hook may mutate the value in
+//! flight and returns whether it did, so the simulation can keep exact
+//! ground truth for detection scoring. `drams-attack` provides the
+//! concrete attack implementations; [`NoAdversary`] is the honest
+//! baseline.
+
+use crate::logent::LogEntry;
+use drams_faas::des::SimTime;
+use drams_faas::msg::{RequestEnvelope, ResponseEnvelope};
+use drams_policy::policy::PolicySet;
+
+/// Attack hooks at every interception point of the access-control path
+/// and the monitoring pipeline.
+pub trait Adversary {
+    /// May tamper with a request on the PEP→PDP wire.
+    fn tamper_request_in_transit(
+        &mut self,
+        _envelope: &mut RequestEnvelope,
+        _now: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// May tamper with a response on the PDP→PEP wire.
+    fn tamper_response_in_transit(
+        &mut self,
+        _envelope: &mut ResponseEnvelope,
+        _now: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// May replace the policy the PDP evaluates (unauthorised swap at the
+    /// PRP/PDP). Called once per simulation setup.
+    fn swap_policy(&mut self, _authorised: &PolicySet) -> Option<PolicySet> {
+        None
+    }
+
+    /// May corrupt the PDP's decision *before* the PDP-side probe sees it
+    /// (a lying PDP — both response digests will match, only the Analyser
+    /// can catch this).
+    fn corrupt_pdp_decision(
+        &mut self,
+        _envelope: &mut ResponseEnvelope,
+        _now: SimTime,
+    ) -> bool {
+        false
+    }
+
+    /// May flip what the PEP actually enforces, independent of the
+    /// decision.
+    fn flip_enforcement(&mut self, _granted: &mut bool, _now: SimTime) -> bool {
+        false
+    }
+
+    /// May suppress a probe's log entry on its way to the LI (silenced
+    /// component / dropped log).
+    fn drop_log(&mut self, _entry: &LogEntry, _now: SimTime) -> bool {
+        false
+    }
+
+    /// May tamper with a log entry inside a compromised LI (the probe MAC
+    /// will no longer verify).
+    fn tamper_log(&mut self, _entry: &mut LogEntry, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// The honest baseline: no hook ever fires.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoAdversary;
+
+impl Adversary for NoAdversary {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drams_faas::model::{PepId, TenantId};
+    use drams_faas::msg::CorrelationId;
+    use drams_policy::attr::Request;
+
+    #[test]
+    fn no_adversary_never_tampers() {
+        let mut adv = NoAdversary;
+        let mut env = RequestEnvelope {
+            correlation: CorrelationId(1),
+            tenant: TenantId(1),
+            pep: PepId(1),
+            service: "svc".into(),
+            request: Request::new(),
+            issued_at: 0,
+        };
+        let before = env.clone();
+        assert!(!adv.tamper_request_in_transit(&mut env, 0));
+        assert_eq!(env, before);
+        let mut granted = true;
+        assert!(!adv.flip_enforcement(&mut granted, 0));
+        assert!(granted);
+    }
+}

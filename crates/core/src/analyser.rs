@@ -1,0 +1,540 @@
+//! The Analyser service.
+//!
+//! Paper §II: "The Analyser is a standalone entity logically placed within
+//! the Infrastructural Tenant, but deployed within a different cloud
+//! section with respect to the access control components. It dynamically
+//! consumes and evaluates the gathered logs to ensure the correct
+//! enforcement of access decisions."
+//!
+//! The service watches the monitor contract for `group.complete` events,
+//! pulls the four log entries of each completed group from contract
+//! storage, verifies the per-probe MACs (compromised-LI detection),
+//! decrypts the payloads with the federation key, re-evaluates the request
+//! against its own authorised policy copy (the formally-grounded check of
+//! ref \[8\]), cross-checks the enforced outcome, and records every finding
+//! on-chain via `report_violation`.
+
+use crate::alert::{Alert, AlertKind};
+use crate::contract::{GROUP_COMPLETE_EVENT, MONITOR_CONTRACT};
+use crate::li::decrypt_entry_payload;
+use crate::logent::{LogEntry, ObservationPoint, ProbeId};
+use drams_analysis::verify::{DecisionVerifier, Verdict, Violation};
+use drams_chain::node::Node;
+use drams_crypto::aead::SymmetricKey;
+use drams_crypto::codec::{Decode, Reader};
+use drams_crypto::schnorr::Keypair;
+use drams_faas::des::SimTime;
+use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
+use drams_policy::decision::Decision;
+use drams_policy::policy::PolicySet;
+use std::collections::BTreeMap;
+
+/// The DRAMS Analyser.
+pub struct Analyser {
+    verifier: DecisionVerifier,
+    key: SymmetricKey,
+    keypair: Keypair,
+    probe_mac_keys: BTreeMap<ProbeId, [u8; 32]>,
+    event_cursor: usize,
+    checked_groups: u64,
+}
+
+impl std::fmt::Debug for Analyser {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Analyser")
+            .field("checked_groups", &self.checked_groups)
+            .field("authorised_version", &self.verifier.authorised_version())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Analyser {
+    /// Creates an analyser pinned to the authorised policy.
+    ///
+    /// `probe_mac_keys` are obtained from the tenant TPMs at provisioning
+    /// time; `keypair` must match the address registered with the monitor
+    /// contract's `init`.
+    #[must_use]
+    pub fn new(
+        authorised_policy: PolicySet,
+        key: SymmetricKey,
+        keypair: Keypair,
+        probe_mac_keys: BTreeMap<ProbeId, [u8; 32]>,
+    ) -> Self {
+        Analyser {
+            verifier: DecisionVerifier::new(authorised_policy),
+            key,
+            keypair,
+            probe_mac_keys,
+            event_cursor: 0,
+            checked_groups: 0,
+        }
+    }
+
+    /// The signing identity (register its fingerprint with the contract).
+    #[must_use]
+    pub fn keypair(&self) -> &Keypair {
+        &self.keypair
+    }
+
+    /// Groups fully checked so far.
+    #[must_use]
+    pub fn checked_groups(&self) -> u64 {
+        self.checked_groups
+    }
+
+    /// Updates the authorised policy (legitimate policy administration).
+    pub fn set_authorised_policy(&mut self, policy: PolicySet) {
+        self.verifier.set_policy(policy);
+    }
+
+    /// Consumes new `group.complete` events from `node`, verifies each
+    /// completed group and submits findings on-chain. Returns the alerts
+    /// raised in this poll (they commit with the next block).
+    pub fn poll(&mut self, node: &mut Node, now: SimTime) -> Vec<Alert> {
+        let completed: Vec<CorrelationId> = {
+            let (events, cursor) = node.events_since(self.event_cursor);
+            self.event_cursor = cursor;
+            events
+                .iter()
+                .filter(|e| e.name == GROUP_COMPLETE_EVENT)
+                .filter_map(|e| {
+                    let mut r = Reader::new(&e.data);
+                    r.get_u64().ok().map(CorrelationId)
+                })
+                .collect()
+        };
+        let mut alerts = Vec::new();
+        for corr in completed {
+            alerts.extend(self.check_group(node, corr, now));
+            self.checked_groups += 1;
+        }
+        for alert in &alerts {
+            // Failures here would mean our own signing identity broke; the
+            // alert is still returned locally.
+            let _ = node.submit_call(
+                &self.keypair,
+                MONITOR_CONTRACT,
+                "report_violation",
+                drams_crypto::codec::Encode::to_canonical_bytes(alert),
+            );
+        }
+        alerts
+    }
+
+    fn load_entry(
+        node: &Node,
+        corr: CorrelationId,
+        point: ObservationPoint,
+    ) -> Option<LogEntry> {
+        let storage = node.host().storage_of(MONITOR_CONTRACT)?;
+        let mut key = Vec::with_capacity(16);
+        key.extend_from_slice(b"ent/");
+        key.extend_from_slice(&corr.0.to_be_bytes());
+        key.push(point.code());
+        let bytes = storage.get(&key)?;
+        LogEntry::from_canonical_bytes(bytes).ok()
+    }
+
+    fn check_group(&self, node: &Node, corr: CorrelationId, now: SimTime) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        let mut entries = BTreeMap::new();
+        for point in ObservationPoint::ALL {
+            match Self::load_entry(node, corr, point) {
+                Some(entry) => {
+                    entries.insert(point, entry);
+                }
+                None => return alerts, // group vanished (cannot happen on honest chain)
+            }
+        }
+
+        // MAC verification: a compromised LI cannot alter entries without
+        // breaking the probe MAC.
+        for entry in entries.values() {
+            let valid = self
+                .probe_mac_keys
+                .get(&entry.probe)
+                .map(|k| entry.verify_mac(k))
+                .unwrap_or(false);
+            if !valid {
+                alerts.push(Alert::new(
+                    AlertKind::MonitorCompromise,
+                    corr,
+                    now,
+                    format!("probe mac invalid on {} from {}", entry.point, entry.probe),
+                ));
+            }
+        }
+
+        // Decrypt the PDP-side view: what the PDP decided about what it saw.
+        let request_entry = &entries[&ObservationPoint::PdpRequest];
+        let response_entry = &entries[&ObservationPoint::PdpResponse];
+        let pep_response_entry = &entries[&ObservationPoint::PepResponse];
+
+        let Ok(request_plain) = decrypt_entry_payload(&self.key, request_entry) else {
+            alerts.push(Alert::new(
+                AlertKind::MonitorCompromise,
+                corr,
+                now,
+                "pdp-request payload does not decrypt".to_string(),
+            ));
+            return alerts;
+        };
+        let Ok(response_plain) = decrypt_entry_payload(&self.key, response_entry) else {
+            alerts.push(Alert::new(
+                AlertKind::MonitorCompromise,
+                corr,
+                now,
+                "pdp-response payload does not decrypt".to_string(),
+            ));
+            return alerts;
+        };
+        let Ok(request_env) = RequestEnvelope::from_canonical_bytes(&request_plain) else {
+            return alerts;
+        };
+        let Ok(response_env) = ResponseEnvelope::from_canonical_bytes(&response_plain) else {
+            return alerts;
+        };
+
+        // The formally-grounded check: re-evaluate and compare.
+        match self.verifier.verify_versioned(
+            &request_env.request,
+            &response_env.response,
+            response_env.policy_version,
+        ) {
+            Verdict::Consistent => {}
+            Verdict::Violation(Violation::WrongPolicyVersion { claimed, expected }) => {
+                alerts.push(Alert::new(
+                    AlertKind::WrongPolicyVersion,
+                    corr,
+                    now,
+                    format!("pdp used policy {claimed}, authorised is {expected}"),
+                ));
+            }
+            Verdict::Violation(v) => {
+                alerts.push(Alert::new(
+                    AlertKind::PolicyViolation,
+                    corr,
+                    now,
+                    v.to_string(),
+                ));
+            }
+        }
+
+        // Enforcement cross-check: the PEP-side payload carries what the
+        // PEP actually did.
+        if let Ok(pep_plain) = decrypt_entry_payload(&self.key, pep_response_entry) {
+            if let Some((&granted_byte, env_bytes)) = pep_plain.split_last() {
+                if let Ok(enforced_env) = ResponseEnvelope::from_canonical_bytes(env_bytes) {
+                    let granted = granted_byte == 1;
+                    // Deny-biased reference: only an explicit Permit grants.
+                    let should_grant = enforced_env.response.decision == Decision::Permit;
+                    if granted != should_grant {
+                        alerts.push(Alert::new(
+                            AlertKind::EnforcementMismatch,
+                            corr,
+                            now,
+                            format!(
+                                "decision {} but access {}",
+                                enforced_env.response.decision,
+                                if granted { "granted" } else { "refused" }
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+
+        alerts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contract::MonitorContract;
+    use crate::probe::Probe;
+    use drams_chain::chain::ChainConfig;
+    use drams_faas::model::{PepId, TenantId};
+    use drams_policy::attr::Request;
+    use drams_policy::combining::CombiningAlg;
+    use drams_policy::decision::{Effect, Response};
+    use drams_policy::policy::Policy;
+    use drams_policy::rule::Rule;
+    use drams_policy::target::Target;
+    use drams_policy::expr::Expr;
+    use drams_policy::attr::{AttributeId, Category};
+
+    fn policy() -> PolicySet {
+        PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)
+            .policy(
+                Policy::builder("p", CombiningAlg::PermitOverrides)
+                    .rule(
+                        Rule::builder("allow-doctors", Effect::Permit)
+                            .target(Target::expr(Expr::equal(
+                                Expr::attr(AttributeId::new(Category::Subject, "role")),
+                                Expr::lit("doctor"),
+                            )))
+                            .build(),
+                    )
+                    .build(),
+            )
+            .build()
+    }
+
+    struct Rig {
+        node: Node,
+        analyser: Analyser,
+        pep_probe: Probe,
+        pdp_probe: Probe,
+        key: SymmetricKey,
+    }
+
+    fn rig() -> Rig {
+        let key = SymmetricKey::from_bytes([3; 32]);
+        let analyser_kp = Keypair::from_seed(b"analyser");
+        let mut node = Node::new(ChainConfig {
+            initial_difficulty_bits: 0,
+            retarget_interval: 0,
+            ..ChainConfig::default()
+        });
+        node.register_contract(Box::new(MonitorContract));
+        let admin = Keypair::from_seed(b"admin");
+        node.submit_call(
+            &admin,
+            MONITOR_CONTRACT,
+            "init",
+            MonitorContract::init_payload(1_000_000, analyser_kp.public().fingerprint()),
+        )
+        .unwrap();
+        node.mine_block(0).unwrap();
+
+        let mut mac_keys = BTreeMap::new();
+        mac_keys.insert(ProbeId(1), [11u8; 32]);
+        mac_keys.insert(ProbeId(2), [22u8; 32]);
+        Rig {
+            node,
+            analyser: Analyser::new(policy(), key.clone(), analyser_kp, mac_keys),
+            pep_probe: Probe::new(ProbeId(1), key.clone(), [11; 32]),
+            pdp_probe: Probe::new(ProbeId(2), key.clone(), [22; 32]),
+            key,
+        }
+    }
+
+    /// Drives one full transaction through probes and the contract.
+    /// `claimed` is the response the PDP reports; `granted` what the PEP
+    /// does.
+    fn run_group(rig: &mut Rig, corr: u64, role: &str, claimed: Response, granted: bool) {
+        let req_env = RequestEnvelope {
+            correlation: CorrelationId(corr),
+            tenant: TenantId(1),
+            pep: PepId(1),
+            service: "svc".into(),
+            request: Request::builder().subject("role", role).build(),
+            issued_at: 100,
+        };
+        let resp_env = ResponseEnvelope {
+            correlation: CorrelationId(corr),
+            pep: PepId(1),
+            response: claimed,
+            policy_version: policy().version_digest(),
+            decided_at: 200,
+        };
+        let li = Keypair::from_seed(b"li");
+        let entries = vec![
+            rig.pep_probe
+                .observe_request(ObservationPoint::PepRequest, &req_env, 100),
+            rig.pdp_probe
+                .observe_request(ObservationPoint::PdpRequest, &req_env, 150),
+            rig.pdp_probe.observe_pdp_response(&resp_env, 200),
+            rig.pep_probe.observe_pep_response(&resp_env, granted, 250),
+        ];
+        for e in entries {
+            rig.node
+                .submit_call(
+                    &li,
+                    MONITOR_CONTRACT,
+                    "store_log",
+                    drams_crypto::codec::Encode::to_canonical_bytes(&e),
+                )
+                .unwrap();
+        }
+        rig.node.mine_block(1_000).unwrap();
+    }
+
+    fn honest_response(role: &str) -> Response {
+        let verifier = DecisionVerifier::new(policy());
+        verifier.expected_response(&Request::builder().subject("role", role).build())
+    }
+
+    #[test]
+    fn honest_group_passes() {
+        let mut r = rig();
+        let resp = honest_response("doctor");
+        run_group(&mut r, 1, "doctor", resp, true);
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert!(alerts.is_empty(), "alerts: {alerts:?}");
+        assert_eq!(r.analyser.checked_groups(), 1);
+    }
+
+    #[test]
+    fn lying_pdp_is_caught_as_policy_violation() {
+        let mut r = rig();
+        // Nurse should be denied; the PDP claims Permit and the PEP grants.
+        let lie = Response::new(drams_policy::decision::ExtDecision::Permit, vec![]);
+        run_group(&mut r, 2, "nurse", lie, true);
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert!(
+            alerts.iter().any(|a| a.kind == AlertKind::PolicyViolation),
+            "alerts: {alerts:?}"
+        );
+        // The finding is also committed on-chain.
+        r.node.mine_block(3_000).unwrap();
+        assert!(r
+            .node
+            .events()
+            .iter()
+            .any(|e| e.name == AlertKind::PolicyViolation.event_name()));
+    }
+
+    #[test]
+    fn wrong_policy_version_is_caught() {
+        let mut r = rig();
+        let resp = honest_response("doctor");
+        // Same decision, but evaluated under a swapped policy version.
+        let req_env = RequestEnvelope {
+            correlation: CorrelationId(3),
+            tenant: TenantId(1),
+            pep: PepId(1),
+            service: "svc".into(),
+            request: Request::builder().subject("role", "doctor").build(),
+            issued_at: 100,
+        };
+        let resp_env = ResponseEnvelope {
+            correlation: CorrelationId(3),
+            pep: PepId(1),
+            response: resp,
+            policy_version: drams_crypto::sha256::Digest::of(b"attacker-policy"),
+            decided_at: 200,
+        };
+        let li = Keypair::from_seed(b"li");
+        let entries = vec![
+            r.pep_probe
+                .observe_request(ObservationPoint::PepRequest, &req_env, 100),
+            r.pdp_probe
+                .observe_request(ObservationPoint::PdpRequest, &req_env, 150),
+            r.pdp_probe.observe_pdp_response(&resp_env, 200),
+            r.pep_probe.observe_pep_response(&resp_env, true, 250),
+        ];
+        for e in entries {
+            r.node
+                .submit_call(
+                    &li,
+                    MONITOR_CONTRACT,
+                    "store_log",
+                    drams_crypto::codec::Encode::to_canonical_bytes(&e),
+                )
+                .unwrap();
+        }
+        r.node.mine_block(1_000).unwrap();
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::WrongPolicyVersion));
+    }
+
+    #[test]
+    fn enforcement_mismatch_is_caught() {
+        let mut r = rig();
+        // Doctor is permitted, but the PEP refuses anyway.
+        let resp = honest_response("doctor");
+        run_group(&mut r, 4, "doctor", resp, false);
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::EnforcementMismatch));
+    }
+
+    #[test]
+    fn tampered_entry_mac_is_monitor_compromise() {
+        let mut r = rig();
+        let resp = honest_response("doctor");
+        // Build an honest group, then tamper one entry's observed_at (a
+        // compromised LI rewriting history) without fixing the MAC.
+        let req_env = RequestEnvelope {
+            correlation: CorrelationId(5),
+            tenant: TenantId(1),
+            pep: PepId(1),
+            service: "svc".into(),
+            request: Request::builder().subject("role", "doctor").build(),
+            issued_at: 100,
+        };
+        let resp_env = ResponseEnvelope {
+            correlation: CorrelationId(5),
+            pep: PepId(1),
+            response: resp,
+            policy_version: policy().version_digest(),
+            decided_at: 200,
+        };
+        let li = Keypair::from_seed(b"li");
+        let mut entries = vec![
+            r.pep_probe
+                .observe_request(ObservationPoint::PepRequest, &req_env, 100),
+            r.pdp_probe
+                .observe_request(ObservationPoint::PdpRequest, &req_env, 150),
+            r.pdp_probe.observe_pdp_response(&resp_env, 200),
+            r.pep_probe.observe_pep_response(&resp_env, true, 250),
+        ];
+        entries[1].observed_at = 999_999; // LI rewrites the timestamp
+        for e in entries {
+            r.node
+                .submit_call(
+                    &li,
+                    MONITOR_CONTRACT,
+                    "store_log",
+                    drams_crypto::codec::Encode::to_canonical_bytes(&e),
+                )
+                .unwrap();
+        }
+        r.node.mine_block(1_000).unwrap();
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert!(alerts
+            .iter()
+            .any(|a| a.kind == AlertKind::MonitorCompromise));
+    }
+
+    #[test]
+    fn poll_is_incremental() {
+        let mut r = rig();
+        let resp = honest_response("doctor");
+        run_group(&mut r, 6, "doctor", resp.clone(), true);
+        assert!(r.analyser.poll(&mut r.node, 1_000).is_empty());
+        // Re-polling without new groups does nothing.
+        assert!(r.analyser.poll(&mut r.node, 1_100).is_empty());
+        assert_eq!(r.analyser.checked_groups(), 1);
+        run_group(&mut r, 7, "doctor", resp, true);
+        r.analyser.poll(&mut r.node, 2_000);
+        assert_eq!(r.analyser.checked_groups(), 2);
+    }
+
+    #[test]
+    fn key_isolation_from_payload() {
+        // sanity: rig key decrypts, foreign key does not
+        let mut r = rig();
+        let env = RequestEnvelope {
+            correlation: CorrelationId(8),
+            tenant: TenantId(1),
+            pep: PepId(1),
+            service: "svc".into(),
+            request: Request::new(),
+            issued_at: 0,
+        };
+        let entry = r
+            .pep_probe
+            .observe_request(ObservationPoint::PepRequest, &env, 0);
+        assert!(decrypt_entry_payload(&r.key, &entry).is_ok());
+        assert!(
+            decrypt_entry_payload(&SymmetricKey::from_bytes([99; 32]), &entry).is_err()
+        );
+    }
+}

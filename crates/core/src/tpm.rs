@@ -1,0 +1,273 @@
+//! Software simulation of a Trusted Platform Module.
+//!
+//! Paper §III (System Integrity): "we can introduce a trusted hardware
+//! platform (e.g., Trusted Platform Module) within the system. On the one
+//! hand, it can be leveraged to store the symmetric keys … On the other
+//! hand, this platform can be utilised to guarantee the integrity of the
+//! off-chain components." This module simulates exactly those two
+//! capabilities: sealed key storage bound to PCR state, and signed
+//! attestation quotes over the PCRs.
+
+use drams_crypto::aead::{open, seal, SealedBox, SymmetricKey};
+use drams_crypto::schnorr::{Keypair, PublicKey, Signature};
+use drams_crypto::sha256::{Digest, Sha256};
+use drams_crypto::CryptoError;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Number of simulated platform configuration registers.
+pub const PCR_COUNT: usize = 8;
+
+/// Errors from TPM operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TpmError {
+    /// Unsealing failed: PCR state differs from seal time, or ciphertext
+    /// was tampered with.
+    UnsealDenied,
+    /// No such sealed object.
+    UnknownHandle(String),
+    /// PCR index out of range.
+    BadPcrIndex(usize),
+}
+
+impl fmt::Display for TpmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TpmError::UnsealDenied => write!(f, "unseal denied: pcr state or blob mismatch"),
+            TpmError::UnknownHandle(h) => write!(f, "unknown sealed object `{h}`"),
+            TpmError::BadPcrIndex(i) => write!(f, "pcr index {i} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for TpmError {}
+
+/// A signed attestation of the platform's PCR state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quote {
+    /// PCR values at quote time.
+    pub pcrs: [Digest; PCR_COUNT],
+    /// Caller-chosen anti-replay nonce.
+    pub nonce: [u8; 16],
+    /// Signature by the TPM's attestation key.
+    pub signature: Signature,
+}
+
+impl Quote {
+    fn message(pcrs: &[Digest; PCR_COUNT], nonce: &[u8; 16]) -> Vec<u8> {
+        let mut m = Vec::with_capacity(32 * PCR_COUNT + 16 + 16);
+        m.extend_from_slice(b"drams.tpm.quote");
+        for p in pcrs {
+            m.extend_from_slice(p.as_bytes());
+        }
+        m.extend_from_slice(nonce);
+        m
+    }
+
+    /// Verifies the quote against the TPM's attestation public key.
+    #[must_use]
+    pub fn verify(&self, attestation_key: &PublicKey) -> bool {
+        attestation_key
+            .verify(&Self::message(&self.pcrs, &self.nonce), &self.signature)
+            .is_ok()
+    }
+}
+
+/// A simulated TPM: PCR bank, sealed storage and attestation identity.
+pub struct Tpm {
+    pcrs: [Digest; PCR_COUNT],
+    storage_root: SymmetricKey,
+    attestation: Keypair,
+    sealed: BTreeMap<String, SealedBox>,
+}
+
+impl fmt::Debug for Tpm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Tpm")
+            .field("sealed_objects", &self.sealed.len())
+            .field("attestation_key", &self.attestation.public())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Tpm {
+    /// Manufactures a TPM with a deterministic identity derived from a
+    /// seed (simulation needs reproducibility; a real TPM fuses these at
+    /// the factory).
+    #[must_use]
+    pub fn with_seed(seed: &[u8]) -> Self {
+        let mut root = [0u8; 32];
+        root.copy_from_slice(Digest::of_parts(&[b"drams.tpm.root", seed]).as_bytes());
+        Tpm {
+            pcrs: [Digest::ZERO; PCR_COUNT],
+            storage_root: SymmetricKey::from_bytes(root),
+            attestation: Keypair::from_seed(&[b"drams.tpm.ak".as_slice(), seed].concat()),
+            sealed: BTreeMap::new(),
+        }
+    }
+
+    /// The attestation public key (distributed to verifiers out of band).
+    #[must_use]
+    pub fn attestation_key(&self) -> PublicKey {
+        self.attestation.public()
+    }
+
+    /// Reads a PCR.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::BadPcrIndex`] when out of range.
+    pub fn pcr(&self, index: usize) -> Result<Digest, TpmError> {
+        self.pcrs
+            .get(index)
+            .copied()
+            .ok_or(TpmError::BadPcrIndex(index))
+    }
+
+    /// Extends a PCR: `pcr = H(pcr || measurement)` — the TPM's
+    /// append-only measurement ledger.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::BadPcrIndex`] when out of range.
+    pub fn extend_pcr(&mut self, index: usize, measurement: &[u8]) -> Result<(), TpmError> {
+        let current = self
+            .pcrs
+            .get(index)
+            .copied()
+            .ok_or(TpmError::BadPcrIndex(index))?;
+        let mut h = Sha256::new();
+        h.update(current.as_bytes());
+        h.update(measurement);
+        self.pcrs[index] = h.finalize();
+        Ok(())
+    }
+
+    fn pcr_digest(&self) -> Digest {
+        let mut h = Sha256::new();
+        for p in &self.pcrs {
+            h.update(p.as_bytes());
+        }
+        h.finalize()
+    }
+
+    /// Seals `secret` under `handle`, bound to the *current* PCR state:
+    /// unsealing succeeds only while the platform measurements match.
+    pub fn seal_key(&mut self, handle: impl Into<String>, secret: &[u8]) {
+        let handle = handle.into();
+        let binding = self.pcr_digest();
+        // Nonce derived from handle so sealing is deterministic per handle.
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&Digest::of_parts(&[b"seal", handle.as_bytes()]).as_bytes()[..12]);
+        let sealed = seal(&self.storage_root, nonce, binding.as_bytes(), secret);
+        self.sealed.insert(handle, sealed);
+    }
+
+    /// Unseals a previously sealed secret, enforcing the PCR binding.
+    ///
+    /// # Errors
+    ///
+    /// [`TpmError::UnknownHandle`] or [`TpmError::UnsealDenied`] when the
+    /// PCR state no longer matches the state at seal time.
+    pub fn unseal_key(&self, handle: &str) -> Result<Vec<u8>, TpmError> {
+        let sealed = self
+            .sealed
+            .get(handle)
+            .ok_or_else(|| TpmError::UnknownHandle(handle.to_string()))?;
+        let binding = self.pcr_digest();
+        open(&self.storage_root, binding.as_bytes(), sealed).map_err(|e: CryptoError| {
+            let _ = e;
+            TpmError::UnsealDenied
+        })
+    }
+
+    /// Produces a signed quote over the current PCR state.
+    #[must_use]
+    pub fn quote(&self, nonce: [u8; 16]) -> Quote {
+        let message = Quote::message(&self.pcrs, &nonce);
+        Quote {
+            pcrs: self.pcrs,
+            nonce,
+            signature: self.attestation.sign(&message),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seal_unseal_round_trip() {
+        let mut tpm = Tpm::with_seed(b"tenant-1");
+        tpm.seal_key("probe-mac-key", b"super secret");
+        assert_eq!(tpm.unseal_key("probe-mac-key").unwrap(), b"super secret");
+    }
+
+    #[test]
+    fn unseal_denied_after_pcr_change() {
+        let mut tpm = Tpm::with_seed(b"tenant-1");
+        tpm.seal_key("k", b"secret");
+        tpm.extend_pcr(0, b"malicious firmware").unwrap();
+        assert_eq!(tpm.unseal_key("k"), Err(TpmError::UnsealDenied));
+    }
+
+    #[test]
+    fn unknown_handle() {
+        let tpm = Tpm::with_seed(b"t");
+        assert!(matches!(
+            tpm.unseal_key("nope"),
+            Err(TpmError::UnknownHandle(_))
+        ));
+    }
+
+    #[test]
+    fn pcr_extension_is_order_sensitive() {
+        let mut a = Tpm::with_seed(b"x");
+        let mut b = Tpm::with_seed(b"x");
+        a.extend_pcr(1, b"m1").unwrap();
+        a.extend_pcr(1, b"m2").unwrap();
+        b.extend_pcr(1, b"m2").unwrap();
+        b.extend_pcr(1, b"m1").unwrap();
+        assert_ne!(a.pcr(1).unwrap(), b.pcr(1).unwrap());
+    }
+
+    #[test]
+    fn quote_verifies_and_detects_tamper() {
+        let mut tpm = Tpm::with_seed(b"t");
+        tpm.extend_pcr(0, b"bootloader").unwrap();
+        let quote = tpm.quote([7; 16]);
+        assert!(quote.verify(&tpm.attestation_key()));
+        // Tampered PCR in the quote fails verification.
+        let mut forged = quote.clone();
+        forged.pcrs[0] = Digest::of(b"clean-looking");
+        assert!(!forged.verify(&tpm.attestation_key()));
+        // Another TPM's key does not verify it.
+        let other = Tpm::with_seed(b"other");
+        assert!(!quote.verify(&other.attestation_key()));
+    }
+
+    #[test]
+    fn quote_nonce_prevents_replay() {
+        let tpm = Tpm::with_seed(b"t");
+        let quote = tpm.quote([1; 16]);
+        let mut replayed = quote.clone();
+        replayed.nonce = [2; 16];
+        assert!(!replayed.verify(&tpm.attestation_key()));
+    }
+
+    #[test]
+    fn bad_pcr_index() {
+        let mut tpm = Tpm::with_seed(b"t");
+        assert!(matches!(tpm.pcr(99), Err(TpmError::BadPcrIndex(99))));
+        assert!(tpm.extend_pcr(99, b"x").is_err());
+    }
+
+    #[test]
+    fn identical_seeds_identical_identity() {
+        let a = Tpm::with_seed(b"same");
+        let b = Tpm::with_seed(b"same");
+        assert_eq!(a.attestation_key(), b.attestation_key());
+    }
+}

@@ -1,0 +1,209 @@
+//! RFC 8439 ChaCha20 stream cipher.
+//!
+//! The Logging Interface encrypts every log payload under the
+//! federation-wide symmetric key *K* before it is written to the (publicly
+//! readable) blockchain — paper §II: "as data stored on a blockchain are
+//! visible to all users, encryption is used to protect data
+//! confidentiality."
+
+/// ChaCha20 cipher instance bound to a key, nonce and initial counter.
+///
+/// Encryption and decryption are the same XOR operation.
+///
+/// # Example
+///
+/// ```
+/// use drams_crypto::chacha20::ChaCha20;
+///
+/// let key = [1u8; 32];
+/// let nonce = [2u8; 12];
+/// let mut buf = *b"confidential log payload";
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+/// assert_ne!(&buf, b"confidential log payload");
+/// ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut buf);
+/// assert_eq!(&buf, b"confidential log payload");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Creates a cipher with the given 256-bit key, 96-bit nonce and
+    /// initial block counter.
+    #[must_use]
+    pub fn new(key: &[u8; 32], nonce: &[u8; 12], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes([
+                key[4 * i],
+                key[4 * i + 1],
+                key[4 * i + 2],
+                key[4 * i + 3],
+            ]);
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] = u32::from_le_bytes([
+                nonce[4 * i],
+                nonce[4 * i + 1],
+                nonce[4 * i + 2],
+                nonce[4 * i + 3],
+            ]);
+        }
+        ChaCha20 { state }
+    }
+
+    fn block(&self, counter: u32) -> [u8; 64] {
+        let mut working = self.state;
+        working[12] = counter;
+        let initial = working;
+        for _ in 0..10 {
+            // column rounds
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // diagonal rounds
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(initial[i]);
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    /// XORs the keystream into `data` in place.
+    ///
+    /// Calling this twice with identically constructed ciphers restores the
+    /// original plaintext.
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        let start = self.state[12];
+        for (block_idx, chunk) in data.chunks_mut(64).enumerate() {
+            let ks = self.block(start.wrapping_add(block_idx as u32));
+            for (b, k) in chunk.iter_mut().zip(ks.iter()) {
+                *b ^= k;
+            }
+        }
+        let consumed = data.len().div_ceil(64) as u32;
+        self.state[12] = start.wrapping_add(consumed);
+    }
+
+    /// Encrypts (or decrypts) `data`, returning a new buffer.
+    #[must_use]
+    pub fn process(mut self, data: &[u8]) -> Vec<u8> {
+        let mut out = data.to_vec();
+        self.apply_keystream(&mut out);
+        out
+    }
+}
+
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn rfc_key() -> [u8; 32] {
+        let mut key = [0u8; 32];
+        for (i, item) in key.iter_mut().enumerate() {
+            *item = i as u8;
+        }
+        key
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_function() {
+        let key = rfc_key();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let cipher = ChaCha20::new(&key, &nonce, 1);
+        let block = cipher.block(1);
+        assert_eq!(
+            hex(&block),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption() {
+        let key = rfc_key();
+        let nonce = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let ct = ChaCha20::new(&key, &nonce, 1).process(plaintext);
+        assert_eq!(
+            hex(&ct),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+    }
+
+    #[test]
+    fn round_trip_various_lengths() {
+        let key = [9u8; 32];
+        let nonce = [3u8; 12];
+        for len in [0usize, 1, 63, 64, 65, 127, 128, 1000] {
+            let data: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let ct = ChaCha20::new(&key, &nonce, 0).process(&data);
+            let pt = ChaCha20::new(&key, &nonce, 0).process(&ct);
+            assert_eq!(pt, data, "len {len}");
+            if len > 0 {
+                assert_ne!(ct, data, "ciphertext must differ, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_equals_oneshot() {
+        let key = [5u8; 32];
+        let nonce = [6u8; 12];
+        let data: Vec<u8> = (0..300u32).map(|i| i as u8).collect();
+        let oneshot = ChaCha20::new(&key, &nonce, 0).process(&data);
+        let mut streaming = data.clone();
+        let mut cipher = ChaCha20::new(&key, &nonce, 0);
+        // Apply in 64-byte-aligned chunks: counter advances per block.
+        let (a, b) = streaming.split_at_mut(128);
+        cipher.apply_keystream(a);
+        cipher.apply_keystream(b);
+        assert_eq!(streaming, oneshot);
+    }
+
+    #[test]
+    fn different_nonces_give_different_streams() {
+        let key = [1u8; 32];
+        let data = [0u8; 64];
+        let c1 = ChaCha20::new(&key, &[0u8; 12], 0).process(&data);
+        let c2 = ChaCha20::new(&key, &[1u8; 12], 0).process(&data);
+        assert_ne!(c1, c2);
+    }
+}

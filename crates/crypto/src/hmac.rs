@@ -1,0 +1,146 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1).
+//!
+//! Used for log authentication tags (per-probe keys held in the simulated
+//! TPM), as the MAC half of [`crate::aead`], and as the deterministic-nonce
+//! derivation function for [`crate::schnorr`] signing.
+
+use crate::sha256::{Digest, Sha256};
+
+const BLOCK: usize = 64;
+
+/// Computes `HMAC-SHA256(key, message)`.
+///
+/// Keys longer than the 64-byte block size are hashed first, exactly as RFC
+/// 2104 prescribes.
+///
+/// # Example
+///
+/// ```
+/// use drams_crypto::hmac::hmac_sha256;
+///
+/// let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+/// assert_eq!(
+///     tag.to_hex(),
+///     "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+/// );
+/// ```
+#[must_use]
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> Digest {
+    let mut key_block = [0u8; BLOCK];
+    if key.len() > BLOCK {
+        key_block[..32].copy_from_slice(Digest::of(key).as_bytes());
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+    let mut ipad = [0x36u8; BLOCK];
+    let mut opad = [0x5cu8; BLOCK];
+    for i in 0..BLOCK {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(inner_digest.as_bytes());
+    outer.finalize()
+}
+
+/// Computes HMAC over the concatenation of several message parts.
+#[must_use]
+pub fn hmac_sha256_parts(key: &[u8], parts: &[&[u8]]) -> Digest {
+    let mut message = Vec::new();
+    for p in parts {
+        message.extend_from_slice(p);
+    }
+    hmac_sha256(key, &message)
+}
+
+/// Derives a subkey from a master key and a domain-separation label.
+///
+/// This is the workspace's lightweight KDF: `HKDF`-like in spirit but a
+/// single HMAC invocation, which suffices because inputs are already
+/// uniformly random 32-byte keys.
+#[must_use]
+pub fn derive_key(master: &[u8], label: &str) -> [u8; 32] {
+    *hmac_sha256(master, label.as_bytes()).as_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let tag = hmac_sha256(&key, b"Hi There");
+        assert_eq!(
+            tag.to_hex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = hmac_sha256(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            tag.to_hex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let tag = hmac_sha256(&key, &data);
+        assert_eq!(
+            tag.to_hex(),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaau8; 131];
+        let tag = hmac_sha256(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(
+            tag.to_hex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_7_long_key_and_data() {
+        let key = [0xaau8; 131];
+        let data = b"This is a test using a larger than block-size key and a larger than block-size data. The key needs to be hashed before being used by the HMAC algorithm.";
+        let tag = hmac_sha256(&key, data);
+        assert_eq!(
+            tag.to_hex(),
+            "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2"
+        );
+    }
+
+    #[test]
+    fn parts_equals_concat() {
+        assert_eq!(
+            hmac_sha256_parts(b"k", &[b"ab", b"cd"]),
+            hmac_sha256(b"k", b"abcd")
+        );
+    }
+
+    #[test]
+    fn derive_key_separates_domains() {
+        let master = [42u8; 32];
+        assert_ne!(derive_key(&master, "enc"), derive_key(&master, "mac"));
+        assert_eq!(derive_key(&master, "enc"), derive_key(&master, "enc"));
+    }
+
+    #[test]
+    fn different_keys_different_tags() {
+        assert_ne!(hmac_sha256(b"k1", b"m"), hmac_sha256(b"k2", b"m"));
+    }
+}

@@ -1,0 +1,288 @@
+//! A small deterministic discrete-event simulation engine.
+//!
+//! Virtual time is measured in microseconds. Events are totally ordered by
+//! `(time, insertion sequence)`, so runs are reproducible given a seed —
+//! every latency/throughput number in the DRAMS experiments comes out of
+//! this engine and is exactly repeatable.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Virtual time in microseconds.
+pub type SimTime = u64;
+
+/// One microsecond.
+pub const MICRO: SimTime = 1;
+/// One millisecond in [`SimTime`] units.
+pub const MILLIS: SimTime = 1_000;
+/// One second in [`SimTime`] units.
+pub const SECONDS: SimTime = 1_000_000;
+
+/// A deterministic event queue over an application-defined event type.
+///
+/// # Example
+///
+/// ```
+/// use drams_faas::des::{EventQueue, MILLIS};
+///
+/// #[derive(Debug, PartialEq)]
+/// enum Ev { Ping, Pong }
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(2 * MILLIS, Ev::Pong);
+/// q.schedule(1 * MILLIS, Ev::Ping);
+/// assert_eq!(q.pop().unwrap().1, Ev::Ping);
+/// assert_eq!(q.now(), MILLIS);
+/// assert_eq!(q.pop().unwrap().1, Ev::Pong);
+/// assert!(q.pop().is_none());
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time 0.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules `event` to fire `delay` after the current time.
+    pub fn schedule(&mut self, delay: SimTime, event: E) {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedules `event` at an absolute virtual time (clamped to now).
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        let at = at.max(self.now);
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(event);
+                i
+            }
+            None => {
+                self.slots.push(Some(event));
+                self.slots.len() - 1
+            }
+        };
+        self.heap.push(Reverse((at, self.seq, slot)));
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing virtual time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((at, _, slot)) = self.heap.pop()?;
+        self.now = at;
+        let event = self.slots[slot].take().expect("slot filled when scheduled");
+        self.free.push(slot);
+        Some((at, event))
+    }
+
+    /// Pops the next event only if it fires at or before `horizon`.
+    pub fn pop_before(&mut self, horizon: SimTime) -> Option<(SimTime, E)> {
+        match self.heap.peek() {
+            Some(Reverse((at, _, _))) if *at <= horizon => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Online mean/percentile accumulator for latency series.
+///
+/// Stores all samples (experiments are bounded), so percentiles are exact.
+#[derive(Debug, Clone, Default)]
+pub struct LatencyStats {
+    samples: Vec<SimTime>,
+    sorted: bool,
+}
+
+impl LatencyStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, sample: SimTime) {
+        self.samples.push(sample);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean in [`SimTime`] units (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<u64>() as f64 / self.samples.len() as f64
+    }
+
+    /// Exact percentile (`p` in 0..=100); 0 when empty.
+    #[must_use]
+    pub fn percentile(&mut self, p: f64) -> SimTime {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        // Nearest-rank percentile: the smallest value with at least p% of
+        // samples at or below it.
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * n as f64).ceil() as usize;
+        self.samples[rank.saturating_sub(1).min(n - 1)]
+    }
+
+    /// Maximum sample (0 when empty).
+    #[must_use]
+    pub fn max(&self) -> SimTime {
+        self.samples.iter().copied().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_simultaneous_events() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "a");
+        q.schedule(10, "b");
+        q.schedule(10, "c");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn time_ordering() {
+        let mut q = EventQueue::new();
+        q.schedule(30, 3);
+        q.schedule(10, 1);
+        q.schedule(20, 2);
+        assert_eq!(q.pop().unwrap(), (10, 1));
+        assert_eq!(q.pop().unwrap(), (20, 2));
+        assert_eq!(q.pop().unwrap(), (30, 3));
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5, ());
+        assert_eq!(q.now(), 0);
+        q.pop();
+        assert_eq!(q.now(), 5);
+        // schedule is relative to the new now
+        q.schedule(5, ());
+        assert_eq!(q.pop().unwrap().0, 10);
+    }
+
+    #[test]
+    fn pop_before_respects_horizon() {
+        let mut q = EventQueue::new();
+        q.schedule(100, "later");
+        assert!(q.pop_before(50).is_none());
+        assert_eq!(q.pop_before(100).unwrap().1, "later");
+    }
+
+    #[test]
+    fn schedule_at_clamps_to_now() {
+        let mut q = EventQueue::new();
+        q.schedule(10, "first");
+        q.pop();
+        q.schedule_at(3, "past"); // in the past: clamped to now = 10
+        assert_eq!(q.pop().unwrap().0, 10);
+    }
+
+    #[test]
+    fn slot_reuse_does_not_corrupt() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(i, i);
+        }
+        for _ in 0..50 {
+            q.pop();
+        }
+        for i in 100..200 {
+            q.schedule_at(i, i);
+        }
+        let mut last = 0;
+        while let Some((t, v)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            assert_eq!(t, v);
+        }
+    }
+
+    #[test]
+    fn latency_stats_percentiles() {
+        let mut s = LatencyStats::new();
+        for v in 1..=100u64 {
+            s.record(v);
+        }
+        assert_eq!(s.len(), 100);
+        assert!((s.mean() - 50.5).abs() < 1e-9);
+        assert_eq!(s.percentile(0.0), 1);
+        assert_eq!(s.percentile(50.0), 50);
+        assert_eq!(s.percentile(100.0), 100);
+        assert_eq!(s.max(), 100);
+    }
+
+    #[test]
+    fn latency_stats_empty_is_zeroes() {
+        let mut s = LatencyStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.percentile(99.0), 0);
+        assert_eq!(s.max(), 0);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,34 @@
+//! FaaS cloud-federation substrate.
+//!
+//! The deployment context of DRAMS (paper §I and Figure 1):
+//! Federation-as-a-Service deploys an XACML access control system across a
+//! cloud federation — the PDP and policy management live in the jointly
+//! owned *infrastructure tenant*, PEPs guard the edge of every member
+//! tenant. This crate models that world:
+//!
+//! * [`model`] — clouds, tenants, sections, PEP placement, link latencies.
+//! * [`msg`] — the request/response envelopes whose canonical digests the
+//!   DRAMS probes log.
+//! * [`pep`] — Policy Enforcement Points with deny/permit-biased
+//!   enforcement.
+//! * [`prp`] — the versioned Policy Retrieval Point.
+//! * [`des`] — a deterministic virtual-time discrete-event engine; all
+//!   latency experiments run on it.
+//! * [`workload`] — Poisson arrivals, Zipf popularity, request and policy
+//!   generators shared by experiments and property tests.
+
+pub mod des;
+pub mod model;
+pub mod msg;
+pub mod pep;
+pub mod prp;
+pub mod workload;
+
+pub use des::{EventQueue, LatencyStats, SimTime, MICRO, MILLIS, SECONDS};
+pub use model::{CloudId, FederationSpec, LatencyModel, PepId, TenantId, TenantSpec};
+pub use msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
+pub use pep::{Enforcement, EnforcementBias, Pep};
+pub use prp::{PolicyVersion, Prp};
+pub use workload::{
+    PoissonArrivals, PolicyGenerator, PolicyShape, RequestGenerator, Vocabulary, Zipf,
+};

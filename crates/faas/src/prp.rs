@@ -1,0 +1,133 @@
+//! The Policy Retrieval Point: versioned policy storage.
+//!
+//! The PRP lives with the PDP in the infrastructure tenant (paper Figure
+//! 1). It keeps the full version history of the federation policy; the
+//! DRAMS Analyser pins its authorised copy to a PRP version digest, which
+//! is what makes unauthorised policy swaps at the PDP detectable.
+
+use drams_crypto::sha256::Digest;
+use drams_policy::policy::PolicySet;
+
+/// One stored policy version.
+#[derive(Debug, Clone)]
+pub struct PolicyVersion {
+    /// Monotonic version number (0-based).
+    pub number: u64,
+    /// Digest of the canonical encoding.
+    pub digest: Digest,
+    /// The policy itself.
+    pub policy: PolicySet,
+}
+
+/// A versioned policy store.
+#[derive(Debug)]
+pub struct Prp {
+    versions: Vec<PolicyVersion>,
+}
+
+impl Prp {
+    /// Creates a PRP with an initial policy (version 0).
+    #[must_use]
+    pub fn new(initial: PolicySet) -> Self {
+        let digest = initial.version_digest();
+        Prp {
+            versions: vec![PolicyVersion {
+                number: 0,
+                digest,
+                policy: initial,
+            }],
+        }
+    }
+
+    /// Publishes a new policy version; returns its version number.
+    pub fn publish(&mut self, policy: PolicySet) -> u64 {
+        let number = self.versions.len() as u64;
+        let digest = policy.version_digest();
+        self.versions.push(PolicyVersion {
+            number,
+            digest,
+            policy,
+        });
+        number
+    }
+
+    /// The active (latest) version.
+    #[must_use]
+    pub fn active(&self) -> &PolicyVersion {
+        self.versions.last().expect("at least the initial version")
+    }
+
+    /// Looks a version up by number.
+    #[must_use]
+    pub fn version(&self, number: u64) -> Option<&PolicyVersion> {
+        self.versions.get(number as usize)
+    }
+
+    /// Looks a version up by digest.
+    #[must_use]
+    pub fn by_digest(&self, digest: &Digest) -> Option<&PolicyVersion> {
+        self.versions.iter().find(|v| v.digest == *digest)
+    }
+
+    /// Number of stored versions.
+    #[must_use]
+    pub fn version_count(&self) -> usize {
+        self.versions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use drams_policy::combining::CombiningAlg;
+    use drams_policy::decision::Effect;
+    use drams_policy::policy::Policy;
+    use drams_policy::rule::Rule;
+
+    fn policy(id: &str) -> PolicySet {
+        PolicySet::builder(id, CombiningAlg::DenyUnlessPermit)
+            .policy(
+                Policy::builder("p", CombiningAlg::PermitOverrides)
+                    .rule(Rule::always("r", Effect::Permit))
+                    .build(),
+            )
+            .build()
+    }
+
+    #[test]
+    fn initial_version_is_zero() {
+        let prp = Prp::new(policy("v0"));
+        assert_eq!(prp.active().number, 0);
+        assert_eq!(prp.version_count(), 1);
+    }
+
+    #[test]
+    fn publish_advances_active() {
+        let mut prp = Prp::new(policy("v0"));
+        let n = prp.publish(policy("v1"));
+        assert_eq!(n, 1);
+        assert_eq!(prp.active().number, 1);
+        assert_eq!(prp.active().policy.id, "v1");
+        // the old version stays retrievable
+        assert_eq!(prp.version(0).unwrap().policy.id, "v0");
+    }
+
+    #[test]
+    fn lookup_by_digest() {
+        let mut prp = Prp::new(policy("v0"));
+        prp.publish(policy("v1"));
+        let digest = prp.version(0).unwrap().digest;
+        assert_eq!(prp.by_digest(&digest).unwrap().number, 0);
+        assert!(prp.by_digest(&Digest::of(b"nope")).is_none());
+    }
+
+    #[test]
+    fn digests_track_policy_content() {
+        let mut prp = Prp::new(policy("same"));
+        prp.publish(policy("same"));
+        // identical content ⇒ identical digest even across versions
+        assert_eq!(prp.version(0).unwrap().digest, prp.version(1).unwrap().digest);
+        prp.publish(policy("different"));
+        assert_ne!(prp.version(0).unwrap().digest, prp.version(2).unwrap().digest);
+    }
+}

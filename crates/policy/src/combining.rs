@@ -1,0 +1,454 @@
+//! XACML 3.0 combining algorithms over extended decisions.
+//!
+//! Implements the six standard algorithms with the *extended Indeterminate*
+//! semantics of XACML 3.0 Appendix C. The Analyser re-evaluates logged
+//! decisions with exactly these tables, so fidelity here is what makes the
+//! "altered evaluation process" detection of the paper meaningful.
+
+use crate::attr::Request;
+use crate::decision::{ExtDecision, Obligation};
+use crate::target::MatchResult;
+use drams_crypto::codec::{Decode, Encode, Reader, Writer};
+use drams_crypto::CryptoError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A combining algorithm identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CombiningAlg {
+    /// Deny wins over everything (XACML C.2).
+    DenyOverrides,
+    /// Permit wins over everything (XACML C.4).
+    PermitOverrides,
+    /// First child with a definitive decision wins (XACML C.8).
+    FirstApplicable,
+    /// Exactly one child may be applicable (XACML C.9).
+    OnlyOneApplicable,
+    /// Any permit → Permit, otherwise Deny; never NA/Indeterminate (C.6).
+    DenyUnlessPermit,
+    /// Any deny → Deny, otherwise Permit; never NA/Indeterminate (C.7).
+    PermitUnlessDeny,
+}
+
+impl CombiningAlg {
+    /// All six algorithms.
+    pub const ALL: [CombiningAlg; 6] = [
+        CombiningAlg::DenyOverrides,
+        CombiningAlg::PermitOverrides,
+        CombiningAlg::FirstApplicable,
+        CombiningAlg::OnlyOneApplicable,
+        CombiningAlg::DenyUnlessPermit,
+        CombiningAlg::PermitUnlessDeny,
+    ];
+
+    /// Canonical textual name, used by the parser.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            CombiningAlg::DenyOverrides => "deny-overrides",
+            CombiningAlg::PermitOverrides => "permit-overrides",
+            CombiningAlg::FirstApplicable => "first-applicable",
+            CombiningAlg::OnlyOneApplicable => "only-one-applicable",
+            CombiningAlg::DenyUnlessPermit => "deny-unless-permit",
+            CombiningAlg::PermitUnlessDeny => "permit-unless-deny",
+        }
+    }
+
+    /// Looks an algorithm up by name.
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<CombiningAlg> {
+        CombiningAlg::ALL.iter().copied().find(|a| a.name() == name)
+    }
+}
+
+impl fmt::Display for CombiningAlg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl Encode for CombiningAlg {
+    fn encode(&self, w: &mut Writer) {
+        let code = CombiningAlg::ALL
+            .iter()
+            .position(|a| a == self)
+            .expect("algorithm in ALL") as u8;
+        w.put_u8(code);
+    }
+}
+
+impl Decode for CombiningAlg {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, CryptoError> {
+        let code = r.get_u8()?;
+        CombiningAlg::ALL
+            .get(code as usize)
+            .copied()
+            .ok_or_else(|| CryptoError::Malformed(format!("combining alg code {code}")))
+    }
+}
+
+/// Anything a combining algorithm can combine: rules, policies, policy
+/// sets. Applicability (target only) and full evaluation are separated
+/// because `only-one-applicable` needs the former without the latter.
+pub trait Combinable {
+    /// Target-only applicability check.
+    fn applicability(&self, request: &Request) -> MatchResult;
+    /// Full evaluation: extended decision plus contributed obligations.
+    fn evaluate(&self, request: &Request) -> (ExtDecision, Vec<Obligation>);
+}
+
+/// Combines children under `alg` for `request`.
+///
+/// Obligations are accumulated from every child whose decision equals the
+/// combined decision (XACML §7.18); indeterminate outcomes carry none.
+pub fn combine<C: Combinable>(
+    alg: CombiningAlg,
+    children: &[C],
+    request: &Request,
+) -> (ExtDecision, Vec<Obligation>) {
+    match alg {
+        CombiningAlg::DenyOverrides => overrides(children, request, ExtDecision::Deny),
+        CombiningAlg::PermitOverrides => overrides(children, request, ExtDecision::Permit),
+        CombiningAlg::FirstApplicable => first_applicable(children, request),
+        CombiningAlg::OnlyOneApplicable => only_one_applicable(children, request),
+        CombiningAlg::DenyUnlessPermit => {
+            unless(children, request, ExtDecision::Permit, ExtDecision::Deny)
+        }
+        CombiningAlg::PermitUnlessDeny => {
+            unless(children, request, ExtDecision::Deny, ExtDecision::Permit)
+        }
+    }
+}
+
+/// Shared implementation of deny-overrides / permit-overrides.
+///
+/// `winner` is the overriding decision (Deny for deny-overrides). The
+/// extended-indeterminate table is XACML 3.0 C.2/C.4 with the roles of
+/// D and P swapped for permit-overrides.
+fn overrides<C: Combinable>(
+    children: &[C],
+    request: &Request,
+    winner: ExtDecision,
+) -> (ExtDecision, Vec<Obligation>) {
+    let loser = match winner {
+        ExtDecision::Deny => ExtDecision::Permit,
+        _ => ExtDecision::Deny,
+    };
+    let (ind_winner, ind_loser) = match winner {
+        ExtDecision::Deny => (ExtDecision::IndeterminateD, ExtDecision::IndeterminateP),
+        _ => (ExtDecision::IndeterminateP, ExtDecision::IndeterminateD),
+    };
+
+    let mut saw_winner = false;
+    let mut saw_loser = false;
+    let mut saw_ind_winner = false;
+    let mut saw_ind_loser = false;
+    let mut saw_ind_dp = false;
+    let mut winner_obligations = Vec::new();
+    let mut loser_obligations = Vec::new();
+
+    for child in children {
+        let (d, obs) = child.evaluate(request);
+        if d == winner {
+            saw_winner = true;
+            winner_obligations.extend(obs);
+        } else if d == loser {
+            saw_loser = true;
+            loser_obligations.extend(obs);
+        } else if d == ind_winner {
+            saw_ind_winner = true;
+        } else if d == ind_loser {
+            saw_ind_loser = true;
+        } else if d == ExtDecision::IndeterminateDP {
+            saw_ind_dp = true;
+        }
+    }
+
+    if saw_winner {
+        return (winner, winner_obligations);
+    }
+    if saw_ind_dp {
+        return (ExtDecision::IndeterminateDP, Vec::new());
+    }
+    if saw_ind_winner && (saw_ind_loser || saw_loser) {
+        return (ExtDecision::IndeterminateDP, Vec::new());
+    }
+    if saw_ind_winner {
+        return (ind_winner, Vec::new());
+    }
+    if saw_loser {
+        return (loser, loser_obligations);
+    }
+    if saw_ind_loser {
+        return (ind_loser, Vec::new());
+    }
+    (ExtDecision::NotApplicable, Vec::new())
+}
+
+fn first_applicable<C: Combinable>(
+    children: &[C],
+    request: &Request,
+) -> (ExtDecision, Vec<Obligation>) {
+    for child in children {
+        let (d, obs) = child.evaluate(request);
+        match d {
+            ExtDecision::Permit | ExtDecision::Deny => return (d, obs),
+            ExtDecision::NotApplicable => continue,
+            ind => return (ind, Vec::new()),
+        }
+    }
+    (ExtDecision::NotApplicable, Vec::new())
+}
+
+fn only_one_applicable<C: Combinable>(
+    children: &[C],
+    request: &Request,
+) -> (ExtDecision, Vec<Obligation>) {
+    let mut applicable: Option<&C> = None;
+    for child in children {
+        match child.applicability(request) {
+            MatchResult::Indeterminate => return (ExtDecision::IndeterminateDP, Vec::new()),
+            MatchResult::Match => {
+                if applicable.is_some() {
+                    return (ExtDecision::IndeterminateDP, Vec::new());
+                }
+                applicable = Some(child);
+            }
+            MatchResult::NoMatch => {}
+        }
+    }
+    match applicable {
+        Some(child) => child.evaluate(request),
+        None => (ExtDecision::NotApplicable, Vec::new()),
+    }
+}
+
+/// deny-unless-permit / permit-unless-deny: `sought` short-circuits,
+/// anything else collapses to `fallback`.
+fn unless<C: Combinable>(
+    children: &[C],
+    request: &Request,
+    sought: ExtDecision,
+    fallback: ExtDecision,
+) -> (ExtDecision, Vec<Obligation>) {
+    let mut fallback_obligations = Vec::new();
+    for child in children {
+        let (d, obs) = child.evaluate(request);
+        if d == sought {
+            return (sought, obs);
+        }
+        if d == fallback {
+            fallback_obligations.extend(obs);
+        }
+    }
+    (fallback, fallback_obligations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decision::Effect;
+    use ExtDecision as D;
+
+    /// A stub child with a fixed outcome.
+    struct Fixed {
+        decision: D,
+        applicability: MatchResult,
+        obligation: Option<&'static str>,
+    }
+
+    impl Fixed {
+        fn new(decision: D) -> Self {
+            let applicability = match decision {
+                D::NotApplicable => MatchResult::NoMatch,
+                _ => MatchResult::Match,
+            };
+            Fixed {
+                decision,
+                applicability,
+                obligation: None,
+            }
+        }
+
+        fn with_obligation(mut self, id: &'static str) -> Self {
+            self.obligation = Some(id);
+            self
+        }
+
+        fn indeterminate_target(mut self) -> Self {
+            self.applicability = MatchResult::Indeterminate;
+            self
+        }
+    }
+
+    impl Combinable for Fixed {
+        fn applicability(&self, _request: &Request) -> MatchResult {
+            self.applicability
+        }
+        fn evaluate(&self, _request: &Request) -> (D, Vec<Obligation>) {
+            let obs = self
+                .obligation
+                .map(|id| {
+                    let effect = match self.decision {
+                        D::Permit => Effect::Permit,
+                        _ => Effect::Deny,
+                    };
+                    vec![Obligation::new(id, effect)]
+                })
+                .unwrap_or_default();
+            (self.decision, obs)
+        }
+    }
+
+    fn run(alg: CombiningAlg, decisions: &[D]) -> D {
+        let children: Vec<Fixed> = decisions.iter().map(|d| Fixed::new(*d)).collect();
+        combine(alg, &children, &Request::new()).0
+    }
+
+    // --- deny-overrides truth table (XACML C.2) ---
+
+    #[test]
+    fn deny_overrides_table() {
+        use CombiningAlg::DenyOverrides as A;
+        assert_eq!(run(A, &[D::Permit, D::Deny]), D::Deny);
+        assert_eq!(run(A, &[D::Deny, D::IndeterminateDP]), D::Deny);
+        assert_eq!(run(A, &[D::Permit, D::Permit]), D::Permit);
+        assert_eq!(run(A, &[D::NotApplicable]), D::NotApplicable);
+        assert_eq!(run(A, &[]), D::NotApplicable);
+        assert_eq!(run(A, &[D::IndeterminateDP, D::Permit]), D::IndeterminateDP);
+        // IndD + Permit → IndDP
+        assert_eq!(
+            run(A, &[D::IndeterminateD, D::Permit]),
+            D::IndeterminateDP
+        );
+        // IndD + IndP → IndDP
+        assert_eq!(
+            run(A, &[D::IndeterminateD, D::IndeterminateP]),
+            D::IndeterminateDP
+        );
+        // IndD alone → IndD
+        assert_eq!(
+            run(A, &[D::IndeterminateD, D::NotApplicable]),
+            D::IndeterminateD
+        );
+        // Permit + IndP → Permit
+        assert_eq!(run(A, &[D::Permit, D::IndeterminateP]), D::Permit);
+        // IndP alone → IndP
+        assert_eq!(run(A, &[D::IndeterminateP]), D::IndeterminateP);
+    }
+
+    #[test]
+    fn permit_overrides_table_is_dual() {
+        use CombiningAlg::PermitOverrides as A;
+        assert_eq!(run(A, &[D::Permit, D::Deny]), D::Permit);
+        assert_eq!(run(A, &[D::Deny, D::Deny]), D::Deny);
+        assert_eq!(
+            run(A, &[D::IndeterminateP, D::Deny]),
+            D::IndeterminateDP
+        );
+        assert_eq!(
+            run(A, &[D::IndeterminateP, D::IndeterminateD]),
+            D::IndeterminateDP
+        );
+        assert_eq!(run(A, &[D::IndeterminateP]), D::IndeterminateP);
+        assert_eq!(run(A, &[D::Deny, D::IndeterminateD]), D::Deny);
+        assert_eq!(run(A, &[D::IndeterminateD]), D::IndeterminateD);
+        assert_eq!(run(A, &[]), D::NotApplicable);
+    }
+
+    #[test]
+    fn first_applicable_short_circuits() {
+        use CombiningAlg::FirstApplicable as A;
+        assert_eq!(run(A, &[D::NotApplicable, D::Deny, D::Permit]), D::Deny);
+        assert_eq!(run(A, &[D::Permit, D::Deny]), D::Permit);
+        assert_eq!(run(A, &[D::NotApplicable]), D::NotApplicable);
+        assert_eq!(
+            run(A, &[D::IndeterminateP, D::Deny]),
+            D::IndeterminateP
+        );
+    }
+
+    #[test]
+    fn only_one_applicable_cases() {
+        use CombiningAlg::OnlyOneApplicable as A;
+        // exactly one applicable → its decision
+        assert_eq!(run(A, &[D::NotApplicable, D::Deny]), D::Deny);
+        assert_eq!(run(A, &[D::Permit, D::NotApplicable]), D::Permit);
+        // two applicable → IndDP
+        assert_eq!(run(A, &[D::Permit, D::Deny]), D::IndeterminateDP);
+        // none applicable → NA
+        assert_eq!(
+            run(A, &[D::NotApplicable, D::NotApplicable]),
+            D::NotApplicable
+        );
+        // indeterminate target → IndDP
+        let children = vec![Fixed::new(D::Permit).indeterminate_target()];
+        assert_eq!(
+            combine(A, &children, &Request::new()).0,
+            D::IndeterminateDP
+        );
+    }
+
+    #[test]
+    fn deny_unless_permit_never_indeterminate() {
+        use CombiningAlg::DenyUnlessPermit as A;
+        assert_eq!(run(A, &[D::IndeterminateDP]), D::Deny);
+        assert_eq!(run(A, &[D::NotApplicable]), D::Deny);
+        assert_eq!(run(A, &[D::Deny, D::Permit]), D::Permit);
+        assert_eq!(run(A, &[]), D::Deny);
+    }
+
+    #[test]
+    fn permit_unless_deny_never_indeterminate() {
+        use CombiningAlg::PermitUnlessDeny as A;
+        assert_eq!(run(A, &[D::IndeterminateDP]), D::Permit);
+        assert_eq!(run(A, &[D::Deny, D::Permit]), D::Deny);
+        assert_eq!(run(A, &[]), D::Permit);
+    }
+
+    #[test]
+    fn obligations_follow_the_decision() {
+        let children = vec![
+            Fixed::new(D::Permit).with_obligation("log-permit"),
+            Fixed::new(D::Deny).with_obligation("log-deny"),
+            Fixed::new(D::Permit).with_obligation("notify"),
+        ];
+        let (d, obs) = combine(CombiningAlg::DenyOverrides, &children, &Request::new());
+        assert_eq!(d, D::Deny);
+        assert_eq!(obs.len(), 1);
+        assert_eq!(obs[0].id, "log-deny");
+
+        let (d, obs) = combine(CombiningAlg::PermitOverrides, &children, &Request::new());
+        assert_eq!(d, D::Permit);
+        let ids: Vec<&str> = obs.iter().map(|o| o.id.as_str()).collect();
+        assert_eq!(ids, vec!["log-permit", "notify"]);
+    }
+
+    #[test]
+    fn indeterminate_outcomes_carry_no_obligations() {
+        let children = vec![
+            Fixed::new(D::IndeterminateD).with_obligation("x"),
+            Fixed::new(D::Permit).with_obligation("y"),
+        ];
+        let (d, obs) = combine(CombiningAlg::DenyOverrides, &children, &Request::new());
+        assert_eq!(d, D::IndeterminateDP);
+        assert!(obs.is_empty());
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for alg in CombiningAlg::ALL {
+            assert_eq!(CombiningAlg::by_name(alg.name()), Some(alg));
+        }
+        assert_eq!(CombiningAlg::by_name("nope"), None);
+    }
+
+    #[test]
+    fn codec_round_trip() {
+        use drams_crypto::codec::{Decode, Encode};
+        for alg in CombiningAlg::ALL {
+            let bytes = alg.to_canonical_bytes();
+            assert_eq!(CombiningAlg::from_canonical_bytes(&bytes).unwrap(), alg);
+        }
+    }
+}

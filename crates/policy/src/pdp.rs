@@ -1,0 +1,132 @@
+//! The Policy Decision Point.
+//!
+//! In the FaaS deployment (paper Figure 1) the PDP lives in the
+//! infrastructure tenant: PEPs forward intercepted requests here, the PDP
+//! evaluates them against the policy in force and returns the decision the
+//! PEP then enforces.
+
+use crate::attr::Request;
+use crate::decision::Response;
+use crate::policy::PolicySet;
+use drams_crypto::sha256::Digest;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A Policy Decision Point bound to one root policy set.
+///
+/// # Example
+///
+/// ```
+/// use drams_policy::prelude::*;
+/// use drams_policy::pdp::Pdp;
+///
+/// let root = PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)
+///     .policy(
+///         Policy::builder("p", CombiningAlg::PermitOverrides)
+///             .rule(Rule::always("allow", Effect::Permit))
+///             .build(),
+///     )
+///     .build();
+/// let pdp = Pdp::new(root);
+/// let response = pdp.evaluate(&Request::new());
+/// assert!(response.is_permit());
+/// ```
+#[derive(Debug)]
+pub struct Pdp {
+    root: PolicySet,
+    version: Digest,
+    evaluations: AtomicU64,
+}
+
+impl Pdp {
+    /// Creates a PDP for a root policy set.
+    #[must_use]
+    pub fn new(root: PolicySet) -> Self {
+        let version = root.version_digest();
+        Pdp {
+            root,
+            version,
+            evaluations: AtomicU64::new(0),
+        }
+    }
+
+    /// The root policy set currently in force.
+    #[must_use]
+    pub fn root(&self) -> &PolicySet {
+        &self.root
+    }
+
+    /// Digest identifying the policy version in force.
+    #[must_use]
+    pub fn policy_version(&self) -> Digest {
+        self.version
+    }
+
+    /// Replaces the policy in force (policy administration).
+    pub fn set_root(&mut self, root: PolicySet) {
+        self.version = root.version_digest();
+        self.root = root;
+    }
+
+    /// Evaluates a request and returns the full response.
+    #[must_use]
+    pub fn evaluate(&self, request: &Request) -> Response {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        let (extended, obligations) = self.root.evaluate(request);
+        Response::new(extended, obligations)
+    }
+
+    /// Number of evaluations performed (diagnostics).
+    #[must_use]
+    pub fn evaluation_count(&self) -> u64 {
+        self.evaluations.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combining::CombiningAlg;
+    use crate::decision::{Decision, Effect};
+    use crate::policy::Policy;
+    use crate::rule::Rule;
+
+    fn pdp() -> Pdp {
+        let root = PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)
+            .policy(
+                Policy::builder("p", CombiningAlg::PermitOverrides)
+                    .rule(Rule::always("allow", Effect::Permit))
+                    .build(),
+            )
+            .build();
+        Pdp::new(root)
+    }
+
+    #[test]
+    fn evaluates_and_counts() {
+        let pdp = pdp();
+        assert_eq!(pdp.evaluation_count(), 0);
+        let r = pdp.evaluate(&Request::new());
+        assert_eq!(r.decision, Decision::Permit);
+        assert_eq!(pdp.evaluation_count(), 1);
+    }
+
+    #[test]
+    fn version_tracks_policy_changes() {
+        let mut pdp = pdp();
+        let v1 = pdp.policy_version();
+        let new_root = PolicySet::builder("root2", CombiningAlg::DenyOverrides).build();
+        pdp.set_root(new_root);
+        assert_ne!(pdp.policy_version(), v1);
+        // empty deny-overrides root → NotApplicable
+        assert_eq!(
+            pdp.evaluate(&Request::new()).decision,
+            Decision::NotApplicable
+        );
+    }
+
+    #[test]
+    fn pdp_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Pdp>();
+    }
+}

@@ -1,0 +1,241 @@
+//! Property tests of the XACML combining-algorithm algebra, over
+//! shrinkable randomly-generated policies and requests.
+
+use drams_policy::attr::{AttributeId, AttributeValue, Category, Request};
+use drams_policy::combining::CombiningAlg;
+use drams_policy::decision::{Decision, Effect, ExtDecision};
+use drams_policy::expr::{Expr, Func};
+use drams_policy::policy::{Policy, PolicySet};
+use drams_policy::rule::Rule;
+use drams_policy::target::Target;
+use proptest::prelude::*;
+
+// ---- strategies -------------------------------------------------------------
+
+fn role_values() -> impl Strategy<Value = String> {
+    prop_oneof![
+        Just("doctor".to_string()),
+        Just("nurse".to_string()),
+        Just("admin".to_string()),
+    ]
+}
+
+fn match_expr() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        role_values().prop_map(|r| Expr::equal(
+            Expr::attr(AttributeId::new(Category::Subject, "role")),
+            Expr::lit(r),
+        )),
+        (0i64..24).prop_map(|h| Expr::Apply(
+            Func::Less,
+            vec![
+                Expr::attr(AttributeId::new(Category::Environment, "hour")),
+                Expr::lit(h),
+            ],
+        )),
+        Just(Expr::lit(true)),
+    ]
+}
+
+fn rule_strategy() -> impl Strategy<Value = Rule> {
+    (
+        any::<bool>(),
+        match_expr(),
+        proptest::option::of(match_expr()),
+        0u32..1000,
+    )
+        .prop_map(|(permit, target, condition, id)| {
+            let effect = if permit { Effect::Permit } else { Effect::Deny };
+            let mut b = Rule::builder(format!("r{id}"), effect).target(Target::expr(target));
+            if let Some(c) = condition {
+                b = b.condition(c);
+            }
+            b.build()
+        })
+}
+
+fn rules_strategy() -> impl Strategy<Value = Vec<Rule>> {
+    proptest::collection::vec(rule_strategy(), 1..6)
+}
+
+fn request_strategy() -> impl Strategy<Value = Request> {
+    (role_values(), 0i64..24).prop_map(|(role, hour)| {
+        Request::builder()
+            .subject("role", role)
+            .environment("hour", hour)
+            .build()
+    })
+}
+
+fn policy_of(alg: CombiningAlg, rules: Vec<Rule>) -> Policy {
+    let mut b = Policy::builder("p", alg);
+    for r in rules {
+        b = b.rule(r);
+    }
+    b.build()
+}
+
+// ---- laws -------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// deny-overrides and permit-overrides are order-insensitive: rule
+    /// permutation cannot change the decision (only obligations may
+    /// reorder).
+    #[test]
+    fn overrides_algorithms_are_permutation_invariant(
+        rules in rules_strategy(),
+        request in request_strategy(),
+        rotation in 0usize..6,
+    ) {
+        for alg in [CombiningAlg::DenyOverrides, CombiningAlg::PermitOverrides] {
+            let forward = policy_of(alg, rules.clone());
+            let mut rotated_rules = rules.clone();
+            rotated_rules.rotate_left(rotation % rules.len().max(1));
+            let rotated = policy_of(alg, rotated_rules);
+            prop_assert_eq!(
+                forward.evaluate(&request).0,
+                rotated.evaluate(&request).0,
+                "alg {}", alg
+            );
+        }
+    }
+
+    /// Duality: permit-overrides on rules == effect-mirrored
+    /// deny-overrides on effect-mirrored rules.
+    #[test]
+    fn permit_overrides_is_dual_of_deny_overrides(
+        rules in rules_strategy(),
+        request in request_strategy(),
+    ) {
+        let mirrored: Vec<Rule> = rules
+            .iter()
+            .map(|r| {
+                let mut m = r.clone();
+                m.effect = m.effect.opposite();
+                m
+            })
+            .collect();
+        let po = policy_of(CombiningAlg::PermitOverrides, rules).evaluate(&request).0;
+        let do_mirrored = policy_of(CombiningAlg::DenyOverrides, mirrored).evaluate(&request).0;
+        let mirror = |d: ExtDecision| match d {
+            ExtDecision::Permit => ExtDecision::Deny,
+            ExtDecision::Deny => ExtDecision::Permit,
+            ExtDecision::IndeterminateP => ExtDecision::IndeterminateD,
+            ExtDecision::IndeterminateD => ExtDecision::IndeterminateP,
+            other => other,
+        };
+        prop_assert_eq!(po, mirror(do_mirrored));
+    }
+
+    /// deny-unless-permit and permit-unless-deny are total: never
+    /// NotApplicable, never Indeterminate.
+    #[test]
+    fn unless_algorithms_are_total(
+        rules in rules_strategy(),
+        request in request_strategy(),
+    ) {
+        for alg in [CombiningAlg::DenyUnlessPermit, CombiningAlg::PermitUnlessDeny] {
+            let (d, _) = policy_of(alg, rules.clone()).evaluate(&request);
+            prop_assert!(
+                matches!(d, ExtDecision::Permit | ExtDecision::Deny),
+                "alg {} produced {}", alg, d
+            );
+        }
+    }
+
+    /// deny-unless-permit agrees with permit-overrides whenever the
+    /// latter is a definitive Permit, and is Deny otherwise.
+    #[test]
+    fn deny_unless_permit_collapses_permit_overrides(
+        rules in rules_strategy(),
+        request in request_strategy(),
+    ) {
+        let po = policy_of(CombiningAlg::PermitOverrides, rules.clone())
+            .evaluate(&request).0;
+        let dup = policy_of(CombiningAlg::DenyUnlessPermit, rules)
+            .evaluate(&request).0;
+        if po == ExtDecision::Permit {
+            prop_assert_eq!(dup, ExtDecision::Permit);
+        } else {
+            prop_assert_eq!(dup, ExtDecision::Deny);
+        }
+    }
+
+    /// first-applicable: prepending a NotApplicable rule never changes
+    /// the outcome.
+    #[test]
+    fn first_applicable_skips_inapplicable_prefix(
+        rules in rules_strategy(),
+        request in request_strategy(),
+    ) {
+        let never = Rule::builder("never", Effect::Deny)
+            .target(Target::expr(Expr::equal(
+                Expr::attr(AttributeId::new(Category::Subject, "role")),
+                Expr::lit("no-such-role"),
+            )))
+            .build();
+        let base = policy_of(CombiningAlg::FirstApplicable, rules.clone())
+            .evaluate(&request).0;
+        let mut prefixed_rules = vec![never];
+        prefixed_rules.extend(rules);
+        let prefixed = policy_of(CombiningAlg::FirstApplicable, prefixed_rules)
+            .evaluate(&request).0;
+        prop_assert_eq!(base, prefixed);
+    }
+
+    /// The four-valued decision always matches the extended decision's
+    /// collapse, across every algorithm.
+    #[test]
+    fn responses_are_internally_consistent(
+        rules in rules_strategy(),
+        request in request_strategy(),
+    ) {
+        for alg in CombiningAlg::ALL {
+            let set = PolicySet::builder("root", alg)
+                .policy(policy_of(CombiningAlg::PermitOverrides, rules.clone()))
+                .build();
+            let (ext, obligations) = set.evaluate(&request);
+            let response = drams_policy::decision::Response::new(ext, obligations);
+            prop_assert_eq!(response.decision, response.extended.to_decision());
+            if response.decision == Decision::Indeterminate
+                || response.decision == Decision::NotApplicable
+            {
+                prop_assert!(response.obligations.is_empty());
+            }
+        }
+    }
+
+    /// Canonical encodings of evaluated artefacts round-trip under every
+    /// generated policy (ties parser/codec/engine together).
+    #[test]
+    fn generated_policies_round_trip_through_codec_and_text(
+        rules in rules_strategy(),
+    ) {
+        use drams_crypto::codec::{Decode, Encode};
+        let set = PolicySet::builder("root", CombiningAlg::DenyOverrides)
+            .policy(policy_of(CombiningAlg::FirstApplicable, rules))
+            .build();
+        // binary codec
+        let bytes = set.to_canonical_bytes();
+        prop_assert_eq!(PolicySet::from_canonical_bytes(&bytes).unwrap(), set.clone());
+        // text syntax
+        let src = drams_policy::parser::to_source(&set);
+        let reparsed = drams_policy::parser::parse_policy_set(&src).unwrap();
+        prop_assert_eq!(reparsed, set);
+    }
+}
+
+/// Non-property regression: literal-condition rules keep working after a
+/// mirror (guards the duality test's mirroring helper).
+#[test]
+fn effect_mirror_preserves_structure() {
+    let rule = Rule::builder("r", Effect::Permit)
+        .condition(Expr::lit(true))
+        .build();
+    let mut mirrored = rule.clone();
+    mirrored.effect = mirrored.effect.opposite();
+    assert_eq!(mirrored.effect, Effect::Deny);
+    assert_eq!(mirrored.condition, rule.condition);
+}

@@ -1,0 +1,18 @@
+//! Hybrid database + blockchain log store.
+//!
+//! Paper §III: "a hybrid approach combining classical database with
+//! blockchain system should offer an adequate flexibility to find a
+//! trade-off between latency, integrity guarantees and, in case of public
+//! chain, cost. A preliminary design to such a system is presented in
+//! \[9\]" (Gaetani et al.). This crate implements that design: log entries
+//! land in a fast append-only store immediately; every `anchor_period`
+//! entries the segment's Merkle root is committed to the blockchain. Reads
+//! are instant; integrity becomes unconditional once the covering anchor
+//! commits — the *tamper-exposure window* is the tail not yet anchored,
+//! and experiment E3 measures exactly that trade-off.
+
+pub mod anchor;
+pub mod kvlog;
+
+pub use anchor::{AnchorContract, AnchoredStore, AuditOutcome, ANCHOR_CONTRACT};
+pub use kvlog::{KvLog, Segment};

@@ -1,0 +1,79 @@
+//! The hybrid database + blockchain log store of paper §III (ref [9]).
+//!
+//! Appends 1000 log entries into the anchored store with different anchor
+//! periods, showing the trade-off the paper describes: larger periods mean
+//! fewer (cheaper) on-chain transactions but a longer tamper-exposure
+//! window. Then demonstrates tamper detection: entries forged after
+//! anchoring fail their audit; entries forged inside the window do not —
+//! that *is* the window.
+//!
+//! Run with: `cargo run --example hybrid_store`
+
+use drams::store::{AnchorContract, AnchoredStore, AuditOutcome};
+use drams::chain::chain::ChainConfig;
+use drams::chain::node::Node;
+use drams_crypto::schnorr::Keypair;
+
+fn fresh_node() -> Node {
+    let mut node = Node::new(ChainConfig {
+        initial_difficulty_bits: 0,
+        retarget_interval: 0,
+        ..ChainConfig::default()
+    });
+    node.register_contract(Box::new(AnchorContract));
+    node
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Hybrid DB+blockchain store: anchor-period trade-off\n");
+    println!(
+        "{:>8} {:>12} {:>16} {:>18}",
+        "period", "anchors", "chain txs", "max window (entries)"
+    );
+
+    for period in [8usize, 32, 128, 512] {
+        let mut node = fresh_node();
+        let mut store = AnchoredStore::new(period, Keypair::from_seed(b"hospital-db"));
+        let mut max_window = 0;
+        for i in 0..1000u64 {
+            store.append(format!("log-{i}").into_bytes(), &mut node)?;
+            max_window = max_window.max(store.log().unsealed_len());
+        }
+        node.mine_block(1_000)?;
+        println!(
+            "{:>8} {:>12} {:>16} {:>18}",
+            period,
+            store.anchors_submitted(),
+            store.anchors_submitted(), // one tx per anchor
+            max_window
+        );
+    }
+
+    println!("\nTamper detection (period = 32):");
+    let mut node = fresh_node();
+    let mut store = AnchoredStore::new(32, Keypair::from_seed(b"hospital-db"));
+    for i in 0..100u64 {
+        store.append(format!("log-{i}").into_bytes(), &mut node)?;
+    }
+    node.mine_block(1_000)?;
+
+    // Forge an anchored entry: caught.
+    store.log_mut().tamper(10, b"the doctor was never here".to_vec());
+    let outcome = store.audit(10, &node);
+    println!("  entry 10 (anchored, forged)   : {outcome:?}");
+    assert_eq!(outcome, AuditOutcome::TamperDetected);
+
+    // Untouched anchored entry: verified.
+    let outcome = store.audit(11, &node);
+    println!("  entry 11 (anchored, intact)   : {outcome:?}");
+    assert_eq!(outcome, AuditOutcome::Verified);
+
+    // Tail entry: still inside the exposure window.
+    let outcome = store.audit(99, &node);
+    println!("  entry 99 (tail, not anchored) : {outcome:?}");
+    assert_eq!(outcome, AuditOutcome::InExposureWindow);
+
+    println!("\nThe exposure window is exactly the unanchored tail — the");
+    println!("latency/integrity trade-off of paper §III, made measurable.");
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! Formal policy analysis: the offline half of the DRAMS Analyser.
+//!
+//! Parses a healthcare data-sharing policy from the FACPL-like text
+//! syntax, then runs the ref-[8] analyses: completeness (with a concrete
+//! counterexample request), permit/deny conflict detection, dead-rule
+//! detection, and change-impact between two policy versions.
+//!
+//! Run with: `cargo run --example policy_analysis`
+
+use drams::analysis::{change_impact, completeness, conflicts, dead_rules, Completeness};
+use drams::policy::parser::parse_policy_set;
+use drams::policy::policy::PolicyChild;
+
+const POLICY_V1: &str = r#"
+policyset federation { deny-overrides
+  target: equal(resource.type, "record")
+  policy clinical { permit-overrides
+    rule doctors-read (permit) {
+      target: equal(subject.role, "doctor")
+      condition: equal(action.id, "read")
+    }
+    rule nurses-daytime (permit) {
+      target: equal(subject.role, "nurse")
+      condition: and(equal(action.id, "read"), less(environment.hour, 20))
+    }
+    rule block-night-writes (deny) {
+      target: equal(action.id, "write")
+      condition: greater-eq(environment.hour, 22)
+    }
+  }
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let v1 = parse_policy_set(POLICY_V1)?;
+    println!("parsed policy `{}` ({} rules)\n", v1.id, v1.rule_count());
+
+    // 1. Completeness: does every request get a definitive answer?
+    match completeness(&v1)? {
+        Completeness::Complete => println!("completeness : complete"),
+        Completeness::Incomplete { witness } => {
+            println!("completeness : INCOMPLETE — counterexample request:");
+            for (id, bag) in witness.iter() {
+                println!("               {id} = {}", bag[0]);
+            }
+            // replay the counterexample on the concrete engine
+            let (decision, _) = v1.evaluate(&witness);
+            println!("               concrete decision: {decision}");
+        }
+    }
+
+    // 2. Conflicts: where do permit and deny rules overlap?
+    if let PolicyChild::Policy(clinical) = &v1.children[0] {
+        let found = conflicts(clinical)?;
+        println!("\nconflicts    : {}", found.len());
+        for c in &found {
+            println!("               `{}` vs `{}`", c.permit_rule, c.deny_rule);
+        }
+
+        // 3. Dead rules.
+        let dead = dead_rules(clinical)?;
+        println!("dead rules   : {dead:?}");
+    }
+
+    // 4. Change impact: v2 restricts doctors to daytime too.
+    let v2_src = POLICY_V1.replace(
+        "condition: equal(action.id, \"read\")",
+        "condition: and(equal(action.id, \"read\"), less(environment.hour, 20))",
+    );
+    let v2 = parse_policy_set(&v2_src)?;
+    let impact = change_impact(&v1, &v2)?;
+    println!("\nchange impact v1 → v2 (doctors now restricted to daytime):");
+    println!(
+        "  newly permitted : {}",
+        impact.now_permitted.as_ref().map_or("none".to_string(), |w| format!("{w:?}"))
+    );
+    match &impact.lost_permit {
+        Some(w) => {
+            println!("  lost permit     : yes — example:");
+            for (id, bag) in w.iter() {
+                println!("                    {id} = {}", bag[0]);
+            }
+        }
+        None => println!("  lost permit     : none"),
+    }
+    assert!(!impact.is_neutral(), "the narrowing must be visible");
+    Ok(())
+}

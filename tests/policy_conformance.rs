@@ -1,0 +1,129 @@
+//! Cross-crate property tests: the symbolic analyser and the concrete
+//! policy engine must agree — this is the soundness link that makes the
+//! Analyser's verdicts meaningful.
+
+use drams::analysis::{can_deny, can_permit, completeness, equivalent, Completeness, Equivalence};
+use drams::policy::decision::Decision;
+use drams_faas::workload::{PolicyGenerator, PolicyShape, RequestGenerator, Vocabulary};
+use proptest::prelude::*;
+
+fn shapes() -> Vec<PolicyShape> {
+    use drams::policy::combining::CombiningAlg;
+    let mut shapes = Vec::new();
+    for root in [
+        CombiningAlg::DenyOverrides,
+        CombiningAlg::PermitOverrides,
+        CombiningAlg::FirstApplicable,
+        CombiningAlg::DenyUnlessPermit,
+        CombiningAlg::PermitUnlessDeny,
+    ] {
+        for policy_alg in [CombiningAlg::PermitOverrides, CombiningAlg::FirstApplicable] {
+            shapes.push(PolicyShape {
+                policies: 3,
+                rules_per_policy: 3,
+                root_algorithm: root,
+                policy_algorithm: policy_alg,
+            });
+        }
+    }
+    shapes
+}
+
+#[test]
+fn symbolic_witnesses_replay_on_concrete_engine() {
+    for (i, shape) in shapes().into_iter().enumerate() {
+        for seed in 0..6u64 {
+            let mut gen = PolicyGenerator::new(Vocabulary::default(), seed * 31 + i as u64);
+            let set = gen.next_policy_set(&shape);
+            if let Some(w) = can_permit(&set).expect("analysable") {
+                assert_eq!(
+                    set.evaluate(&w).0.to_decision(),
+                    Decision::Permit,
+                    "permit witness, shape {i}, seed {seed}"
+                );
+            }
+            if let Some(w) = can_deny(&set).expect("analysable") {
+                assert_eq!(
+                    set.evaluate(&w).0.to_decision(),
+                    Decision::Deny,
+                    "deny witness, shape {i}, seed {seed}"
+                );
+            }
+            if let Completeness::Incomplete { witness } = completeness(&set).expect("analysable")
+            {
+                let d = set.evaluate(&witness).0.to_decision();
+                assert!(
+                    d == Decision::NotApplicable || d == Decision::Indeterminate,
+                    "gap witness must fall through, got {d}, shape {i}, seed {seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn policies_are_equivalent_to_themselves_and_not_to_mutants() {
+    let mut gen = PolicyGenerator::new(Vocabulary::default(), 77);
+    let set = gen.next_policy_set(&PolicyShape::default());
+    assert!(matches!(
+        equivalent(&set, &set).unwrap(),
+        Equivalence::Equivalent
+    ));
+}
+
+#[test]
+fn deny_unless_permit_roots_are_always_complete() {
+    use drams::policy::combining::CombiningAlg;
+    for seed in 0..10u64 {
+        let mut gen = PolicyGenerator::new(Vocabulary::default(), seed);
+        let set = gen.next_policy_set(&PolicyShape {
+            root_algorithm: CombiningAlg::DenyUnlessPermit,
+            ..PolicyShape::default()
+        });
+        assert!(
+            completeness(&set).expect("analysable").is_complete(),
+            "seed {seed}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Randomized agreement: on arbitrary generated requests, the decision
+    /// the concrete engine computes is consistent with the symbolic
+    /// permit/deny characterisation (sampled instead of enumerated).
+    #[test]
+    fn concrete_decisions_fall_inside_symbolic_characterisation(
+        policy_seed in 0u64..500,
+        request_seed in 0u64..500,
+    ) {
+        use drams::analysis::constraint::compile_policy_set;
+        use drams::analysis::solver::satisfiable;
+        use drams::analysis::Formula;
+
+        let mut pgen = PolicyGenerator::new(Vocabulary::default(), policy_seed);
+        let set = pgen.next_policy_set(&PolicyShape {
+            policies: 2,
+            rules_per_policy: 2,
+            ..PolicyShape::default()
+        });
+        let sym = compile_policy_set(&set).expect("analysable");
+        let mut rgen = RequestGenerator::new(Vocabulary::default(), 1.0, request_seed);
+        let request = rgen.next_request();
+        let (ext, _) = set.evaluate(&request);
+
+        // The symbolic permit formula must be satisfiable whenever some
+        // concrete request (this one!) reaches Permit — and dually for deny.
+        match ext.to_decision() {
+            Decision::Permit => prop_assert!(satisfiable(&sym.permit).unwrap()),
+            Decision::Deny => prop_assert!(satisfiable(&sym.deny).unwrap()),
+            _ => prop_assert!(satisfiable(
+                &Formula::and(vec![
+                    Formula::not(sym.permit.clone()),
+                    Formula::not(sym.deny.clone()),
+                ])
+            ).unwrap()),
+        }
+    }
+}
