@@ -325,7 +325,11 @@ fn compile_apply(func: Func, args: &[Expr]) -> Result<Formula, AnalysisError> {
             }
             Ok(Formula::not(compile_bool(&args[0])?))
         }
-        Func::Equal | Func::NotEqual | Func::Less | Func::LessEq | Func::Greater
+        Func::Equal
+        | Func::NotEqual
+        | Func::Less
+        | Func::LessEq
+        | Func::Greater
         | Func::GreaterEq => {
             if args.len() != 2 {
                 return Err(AnalysisError::Unsupported(format!(
@@ -521,12 +525,8 @@ pub fn combine_symbolic(alg: CombiningAlg, children: &[SymbolicDecision]) -> Sym
             }
             (Formula::or(permit_parts), Formula::or(deny_parts))
         }
-        CombiningAlg::DenyUnlessPermit => {
-            (any_permit.clone(), Formula::not(any_permit))
-        }
-        CombiningAlg::PermitUnlessDeny => {
-            (Formula::not(any_deny.clone()), any_deny)
-        }
+        CombiningAlg::DenyUnlessPermit => (any_permit.clone(), Formula::not(any_permit)),
+        CombiningAlg::PermitUnlessDeny => (Formula::not(any_deny.clone()), any_deny),
     };
     SymbolicDecision {
         applicable,
@@ -580,13 +580,13 @@ fn gate(target: Formula, inner: SymbolicDecision) -> SymbolicDecision {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use drams_policy::attr::AttributeId;
     use drams_policy::attr::Category;
+    use drams_policy::combining::CombiningAlg;
+    use drams_policy::decision::Effect;
     use drams_policy::policy::{Policy, PolicySet};
     use drams_policy::rule::Rule;
     use drams_policy::target::Target;
-    use drams_policy::combining::CombiningAlg;
-    use drams_policy::decision::Effect;
-    use drams_policy::attr::AttributeId;
 
     fn role_eq(v: &str) -> Expr {
         Expr::equal(
@@ -680,8 +680,7 @@ mod tests {
     fn deny_overrides_symbolically() {
         let permit_all = compile_rule(&Rule::always("p", Effect::Permit)).unwrap();
         let deny_all = compile_rule(&Rule::always("d", Effect::Deny)).unwrap();
-        let combined =
-            combine_symbolic(CombiningAlg::DenyOverrides, &[permit_all, deny_all]);
+        let combined = combine_symbolic(CombiningAlg::DenyOverrides, &[permit_all, deny_all]);
         // Deny always fires ⇒ permit formula must be unsatisfiable
         // (structurally: permit ∧ ¬deny = true ∧ ¬true = false).
         assert_eq!(combined.permit, Formula::False);

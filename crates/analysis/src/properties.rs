@@ -226,10 +226,7 @@ pub fn change_impact(old: &PolicySet, new: &PolicySet) -> Result<ChangeImpact, A
             so.permit.clone(),
             Formula::not(sn.permit.clone()),
         ]))?,
-        lost_deny: witness(Formula::and(vec![
-            so.deny,
-            Formula::not(sn.deny),
-        ]))?,
+        lost_deny: witness(Formula::and(vec![so.deny, Formula::not(sn.deny)]))?,
     })
 }
 

@@ -255,9 +255,7 @@ impl SolverCtx<'_> {
                 }
                 unreachable!()
             }
-            ValueType::Numeric { int_only } => {
-                numeric_witness(int_only, &lowers, &uppers, &nes)
-            }
+            ValueType::Numeric { int_only } => numeric_witness(int_only, &lowers, &uppers, &nes),
         }
     }
 
@@ -385,9 +383,10 @@ fn numeric_witness(
         if hi.is_finite() && !hi_strict {
             candidates.push(hi);
         }
-        candidates.into_iter().find(|c| {
-            within(*c, lowers, uppers) && !excluded.iter().any(|e| e == c)
-        }).map(AttributeValue::Double)
+        candidates
+            .into_iter()
+            .find(|c| within(*c, lowers, uppers) && !excluded.iter().any(|e| e == c))
+            .map(AttributeValue::Double)
     }
 }
 
@@ -441,41 +440,26 @@ mod tests {
     #[test]
     fn interval_reasoning() {
         // 3 < x < 7 is satisfiable
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Gt, 3i64),
-            atom("x", CmpOp::Lt, 7i64),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Gt, 3i64), atom("x", CmpOp::Lt, 7i64)]);
         let model = solve(&f).unwrap().unwrap();
         let v = model.values[&attr("x")].as_f64().unwrap();
         assert!(v > 3.0 && v < 7.0);
         // 7 < x < 3 is not
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Gt, 7i64),
-            atom("x", CmpOp::Lt, 3i64),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Gt, 7i64), atom("x", CmpOp::Lt, 3i64)]);
         assert!(solve(&f).unwrap().is_none());
     }
 
     #[test]
     fn integer_tight_interval() {
         // 2 < x < 4 has the single integer solution 3
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Gt, 2i64),
-            atom("x", CmpOp::Lt, 4i64),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Gt, 2i64), atom("x", CmpOp::Lt, 4i64)]);
         let model = solve(&f).unwrap().unwrap();
         assert_eq!(model.values[&attr("x")], AttributeValue::Int(3));
         // 2 < x < 3 has none
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Gt, 2i64),
-            atom("x", CmpOp::Lt, 3i64),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Gt, 2i64), atom("x", CmpOp::Lt, 3i64)]);
         assert!(solve(&f).unwrap().is_none());
         // …but for doubles it does
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Gt, 2.0),
-            atom("x", CmpOp::Lt, 3.0),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Gt, 2.0), atom("x", CmpOp::Lt, 3.0)]);
         assert!(solve(&f).unwrap().is_some());
     }
 
@@ -551,10 +535,7 @@ mod tests {
 
     #[test]
     fn mixed_int_double_bounds() {
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Gt, 1i64),
-            atom("x", CmpOp::Lt, 1.5),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Gt, 1i64), atom("x", CmpOp::Lt, 1.5)]);
         let model = solve(&f).unwrap().unwrap();
         let v = model.values[&attr("x")].as_f64().unwrap();
         assert!(v > 1.0 && v < 1.5);
@@ -562,10 +543,7 @@ mod tests {
 
     #[test]
     fn type_conflicts_surface_as_errors() {
-        let f = Formula::and(vec![
-            atom("x", CmpOp::Eq, "s"),
-            atom("x", CmpOp::Eq, 1i64),
-        ]);
+        let f = Formula::and(vec![atom("x", CmpOp::Eq, "s"), atom("x", CmpOp::Eq, 1i64)]);
         assert!(solve(&f).is_err());
     }
 

@@ -74,9 +74,7 @@ impl TypeEnv {
                 Some(existing) => match (*existing, this) {
                     (ValueType::Str, ValueType::Str) | (ValueType::Bool, ValueType::Bool) => {}
                     (ValueType::Numeric { int_only: a }, ValueType::Numeric { int_only: b }) => {
-                        *existing = ValueType::Numeric {
-                            int_only: a && b,
-                        };
+                        *existing = ValueType::Numeric { int_only: a && b };
                     }
                     (a, b) => {
                         return Err(AnalysisError::TypeConflict {

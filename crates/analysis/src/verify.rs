@@ -7,10 +7,10 @@
 //! policy (pinned by version digest) and re-evaluates every logged
 //! (request, response) pair, reporting any divergence.
 
+use drams_crypto::sha256::Digest;
 use drams_policy::attr::Request;
 use drams_policy::decision::{Decision, Response};
 use drams_policy::policy::PolicySet;
-use drams_crypto::sha256::Digest;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -48,7 +48,10 @@ impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Violation::WrongDecision { claimed, expected } => {
-                write!(f, "decision mismatch: claimed {claimed}, expected {expected}")
+                write!(
+                    f,
+                    "decision mismatch: claimed {claimed}, expected {expected}"
+                )
             }
             Violation::WrongObligations { claimed, expected } => write!(
                 f,
@@ -125,8 +128,7 @@ impl DecisionVerifier {
             });
         }
         let claimed_obs: Vec<String> = claimed.obligations.iter().map(|o| o.id.clone()).collect();
-        let expected_obs: Vec<String> =
-            expected.obligations.iter().map(|o| o.id.clone()).collect();
+        let expected_obs: Vec<String> = expected.obligations.iter().map(|o| o.id.clone()).collect();
         if claimed_obs != expected_obs {
             return Verdict::Violation(Violation::WrongObligations {
                 claimed: claimed_obs,
@@ -162,12 +164,12 @@ impl DecisionVerifier {
 mod tests {
     use super::*;
     use drams_policy::attr::{AttributeId, Category};
+    use drams_policy::combining::CombiningAlg;
     use drams_policy::decision::{Effect, ExtDecision, Obligation};
     use drams_policy::expr::Expr;
     use drams_policy::policy::{Policy, PolicySet};
     use drams_policy::rule::Rule;
     use drams_policy::target::Target;
-    use drams_policy::combining::CombiningAlg;
 
     fn policy() -> PolicySet {
         PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)

@@ -30,7 +30,8 @@ impl CompositeAdversary {
     /// Adds a threat with its firing probability (builder style).
     #[must_use]
     pub fn with(mut self, kind: ThreatKind, probability: f64, seed: u64) -> Self {
-        self.parts.push(ScriptedAdversary::new(kind, probability, seed));
+        self.parts
+            .push(ScriptedAdversary::new(kind, probability, seed));
         self
     }
 
@@ -48,11 +49,7 @@ impl CompositeAdversary {
 }
 
 impl Adversary for CompositeAdversary {
-    fn tamper_request_in_transit(
-        &mut self,
-        envelope: &mut RequestEnvelope,
-        now: SimTime,
-    ) -> bool {
+    fn tamper_request_in_transit(&mut self, envelope: &mut RequestEnvelope, now: SimTime) -> bool {
         self.parts
             .iter_mut()
             .any(|p| p.tamper_request_in_transit(envelope, now))
@@ -164,8 +161,7 @@ mod tests {
             seed: 5,
             ..MonitorConfig::default()
         };
-        let mut adversary =
-            CompositeAdversary::new().with(ThreatKind::TamperRequest, 0.2, 9);
+        let mut adversary = CompositeAdversary::new().with(ThreatKind::TamperRequest, 0.2, 9);
         let (_, truth) = run_monitor(&config, &mut adversary);
         assert!(!truth.tampered_requests.is_empty());
         assert!(truth.tampered_responses.is_empty());

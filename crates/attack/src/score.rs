@@ -62,12 +62,8 @@ pub fn expected_alert_kinds(threat: ThreatKind) -> &'static [fn(&AlertKind) -> b
 /// `PolicyViolation` into a `MissingLog`) while the transaction is still
 /// flagged — this is the right detection notion for multi-threat runs.
 #[must_use]
-pub fn detected_by_any_alert(
-    report: &MonitorReport,
-    correlations: &[CorrelationId],
-) -> usize {
-    let alerted: HashSet<CorrelationId> =
-        report.alerts.iter().map(|a| a.correlation).collect();
+pub fn detected_by_any_alert(report: &MonitorReport, correlations: &[CorrelationId]) -> usize {
+    let alerted: HashSet<CorrelationId> = report.alerts.iter().map(|a| a.correlation).collect();
     correlations
         .iter()
         .collect::<HashSet<_>>()
@@ -142,11 +138,7 @@ pub fn score(threat: ThreatKind, report: &MonitorReport, truth: &GroundTruth) ->
     if threat == ThreatKind::SwapPolicy {
         // Policy swap is a single global attack; detection = any matching
         // alert at all.
-        let detections: Vec<_> = report
-            .alerts
-            .iter()
-            .filter(|a| matches(&a.kind))
-            .collect();
+        let detections: Vec<_> = report.alerts.iter().filter(|a| matches(&a.kind)).collect();
         let attacks = usize::from(truth.policy_swapped);
         let detected = usize::from(truth.policy_swapped && !detections.is_empty());
         let false_positives = usize::from(!truth.policy_swapped && !detections.is_empty());
@@ -163,7 +155,8 @@ pub fn score(threat: ThreatKind, report: &MonitorReport, truth: &GroundTruth) ->
         };
     }
 
-    let attacked: HashSet<CorrelationId> = attacked_correlations(threat, truth).into_iter().collect();
+    let attacked: HashSet<CorrelationId> =
+        attacked_correlations(threat, truth).into_iter().collect();
     let mut detected_set: HashSet<CorrelationId> = HashSet::new();
     let mut false_positives = 0usize;
     let mut latencies: Vec<u64> = Vec::new();

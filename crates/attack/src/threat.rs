@@ -120,11 +120,7 @@ fn flip_response(response: &mut Response) {
 }
 
 impl Adversary for ScriptedAdversary {
-    fn tamper_request_in_transit(
-        &mut self,
-        envelope: &mut RequestEnvelope,
-        _now: SimTime,
-    ) -> bool {
+    fn tamper_request_in_transit(&mut self, envelope: &mut RequestEnvelope, _now: SimTime) -> bool {
         if self.kind != ThreatKind::TamperRequest || !self.fires() {
             return false;
         }
@@ -254,7 +250,9 @@ mod tests {
         assert!(!adv.tamper_response_in_transit(&mut resp, 0));
         let mut granted = true;
         assert!(!adv.flip_enforcement(&mut granted, 0));
-        assert!(adv.swap_policy(&drams_core::monitor::default_policy()).is_none());
+        assert!(adv
+            .swap_policy(&drams_core::monitor::default_policy())
+            .is_none());
     }
 
     #[test]

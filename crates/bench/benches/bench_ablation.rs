@@ -31,23 +31,27 @@ fn bench_hybrid_append(c: &mut Criterion) {
     let mut group = c.benchmark_group("hybrid_append_1k");
     group.sample_size(10);
     for period in [8usize, 256] {
-        group.bench_with_input(BenchmarkId::from_parameter(period), &period, |b, &period| {
-            b.iter(|| {
-                let mut node = Node::new(ChainConfig {
-                    initial_difficulty_bits: 0,
-                    retarget_interval: 0,
-                    ..ChainConfig::default()
+        group.bench_with_input(
+            BenchmarkId::from_parameter(period),
+            &period,
+            |b, &period| {
+                b.iter(|| {
+                    let mut node = Node::new(ChainConfig {
+                        initial_difficulty_bits: 0,
+                        retarget_interval: 0,
+                        ..ChainConfig::default()
+                    });
+                    node.register_contract(Box::new(AnchorContract));
+                    let mut store = AnchoredStore::new(period, Keypair::from_seed(b"bench"));
+                    for i in 0..1_000u64 {
+                        store
+                            .append(format!("entry-{i}").into_bytes(), &mut node)
+                            .unwrap();
+                    }
+                    (store.anchors_submitted(), node.mempool_len())
                 });
-                node.register_contract(Box::new(AnchorContract));
-                let mut store = AnchoredStore::new(period, Keypair::from_seed(b"bench"));
-                for i in 0..1_000u64 {
-                    store
-                        .append(format!("entry-{i}").into_bytes(), &mut node)
-                        .unwrap();
-                }
-                (store.anchors_submitted(), node.mempool_len())
-            });
-        });
+            },
+        );
     }
     group.finish();
 }

@@ -124,7 +124,10 @@ fn e1_log_size_vs_latency() {
             let block = Block::mine(parent, h, vec![], h, bits);
             parent = block.hash();
         }
-        mining_ms.push((bits, start.elapsed().as_secs_f64() * 1_000.0 / blocks as f64));
+        mining_ms.push((
+            bits,
+            start.elapsed().as_secs_f64() * 1_000.0 / blocks as f64,
+        ));
     }
 
     println!(
@@ -151,9 +154,15 @@ fn e1_log_size_vs_latency() {
 /// E2 — paper §III: PoW parameters tune latency, but "a possibly
 /// lightweight PoW … does not ensure strong integrity guarantees."
 fn e2_pow_tuning_and_integrity() {
-    header("E2", "PoW difficulty vs block time; attacker rewrite probability");
+    header(
+        "E2",
+        "PoW difficulty vs block time; attacker rewrite probability",
+    );
     println!("-- block time vs difficulty (real hashing, 6 blocks each) --");
-    println!("{:>8} {:>16} {:>18}", "bits", "mean ms/block", "expected hashes");
+    println!(
+        "{:>8} {:>16} {:>18}",
+        "bits", "mean ms/block", "expected hashes"
+    );
     for &bits in &[4u32, 8, 12, 16, 18] {
         let start = Instant::now();
         let blocks = 6u64;
@@ -204,7 +213,10 @@ fn e2_pow_tuning_and_integrity() {
     }
     println!("\nshape: block time doubles per difficulty bit; rewrite probability");
     println!("falls with confirmations and rises sharply with attacker share;");
-    println!("majority attacker (q ≥ 0.5) always wins: {}", nakamoto_success_probability(0.5, 100));
+    println!(
+        "majority attacker (q ≥ 0.5) always wins: {}",
+        nakamoto_success_probability(0.5, 100)
+    );
 }
 
 /// E3 — paper §III: the hybrid DB+blockchain trade-off (ref \[9\]).
@@ -357,7 +369,10 @@ fn e5_policy_engine_scaling() {
         } else {
             "-".to_string()
         };
-        println!("{:>10} {:>8} {:>14.2} {:>18}", policies, rules, us, analysis_ms);
+        println!(
+            "{:>10} {:>8} {:>14.2} {:>18}",
+            policies, rules, us, analysis_ms
+        );
     }
     println!("\nshape: decision latency grows linearly in the rule base;");
     println!("symbolic analysis is superlinear (SAT), run offline.");
@@ -399,9 +414,7 @@ fn e6_monitoring_overhead() {
         r_on.txs_committed
     );
     let overhead = (r_on.e2e_latency.mean() / r_off.e2e_latency.mean() - 1.0) * 100.0;
-    println!(
-        "\ncritical-path overhead: {overhead:+.2}% (asynchronous probes);"
-    );
+    println!("\ncritical-path overhead: {overhead:+.2}% (asynchronous probes);");
     println!(
         "monitoring pipeline latency (observation → commit): {:.1} ms mean",
         r_on.log_commit_latency.mean() / 1_000.0

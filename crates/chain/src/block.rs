@@ -171,9 +171,7 @@ mod tests {
     fn sample_txs(n: usize) -> Vec<Transaction> {
         let kp = Keypair::from_seed(b"block-tests");
         (0..n)
-            .map(|i| {
-                Transaction::new_signed(&kp, i as u64, "monitor", "store", vec![i as u8; 32])
-            })
+            .map(|i| Transaction::new_signed(&kp, i as u64, "monitor", "store", vec![i as u8; 32]))
             .collect()
     }
 

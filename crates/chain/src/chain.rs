@@ -223,13 +223,7 @@ impl Blockchain {
         let total_work = parent_work + (1u128 << block.header.difficulty_bits.min(127));
         let extends_tip = block.header.parent == self.tip;
         let old_tip = self.tip;
-        self.blocks.insert(
-            hash,
-            StoredBlock {
-                block,
-                total_work,
-            },
-        );
+        self.blocks.insert(hash, StoredBlock { block, total_work });
         if total_work > self.blocks[&self.tip].total_work {
             self.tip = hash;
             if extends_tip {
@@ -304,12 +298,7 @@ impl Blockchain {
         let mut cursor = self.tip;
         loop {
             let stored = &self.blocks[&cursor];
-            if stored
-                .block
-                .transactions
-                .iter()
-                .any(|tx| tx.id() == *tx_id)
-            {
+            if stored.block.transactions.iter().any(|tx| tx.id() == *tx_id) {
                 return Some((cursor, stored.block.header.height));
             }
             if cursor == self.genesis {
@@ -425,7 +414,10 @@ mod tests {
     fn duplicate_import_is_already_known() {
         let mut chain = Blockchain::new(config(0));
         let block = Block::mine(chain.genesis_hash(), 1, vec![], 0, 0);
-        assert_eq!(chain.import(block.clone()).unwrap(), ImportOutcome::ExtendedTip);
+        assert_eq!(
+            chain.import(block.clone()).unwrap(),
+            ImportOutcome::ExtendedTip
+        );
         assert_eq!(chain.import(block).unwrap(), ImportOutcome::AlreadyKnown);
     }
 
@@ -433,7 +425,7 @@ mod tests {
     fn side_chain_then_reorg() {
         let mut chain = Blockchain::new(config(2));
         let a1 = extend(&mut chain, vec![], 1_000); // main: a1
-        // Build a fork from genesis.
+                                                    // Build a fork from genesis.
         let b1 = Block::mine(chain.genesis_hash(), 1, vec![], 1_500, 2);
         assert_eq!(chain.import(b1.clone()).unwrap(), ImportOutcome::SideChain);
         assert_eq!(chain.tip_hash(), a1.hash());
@@ -503,7 +495,10 @@ mod tests {
         let b1 = extend(&mut chain, vec![], 1);
         let _b2 = extend(&mut chain, vec![], 2);
         assert_eq!(chain.block_at_height(1).unwrap().hash(), b1.hash());
-        assert_eq!(chain.block_at_height(0).unwrap().hash(), chain.genesis_hash());
+        assert_eq!(
+            chain.block_at_height(0).unwrap().hash(),
+            chain.genesis_hash()
+        );
         assert!(chain.block_at_height(9).is_none());
     }
 }

@@ -225,10 +225,7 @@ impl ContractHost {
     /// The account nonce expected from `sender`'s next transaction.
     #[must_use]
     pub fn account_nonce(&self, sender: &PublicKey) -> u64 {
-        *self
-            .account_nonces
-            .get(&sender.fingerprint())
-            .unwrap_or(&0)
+        *self.account_nonces.get(&sender.fingerprint()).unwrap_or(&0)
     }
 
     /// Read-only view of a contract's storage.
@@ -369,7 +366,8 @@ impl SmartContract for KvStoreContract {
         match method {
             "put" => {
                 let seq = ctx.storage.len() as u64;
-                ctx.storage.insert(seq.to_be_bytes().to_vec(), payload.to_vec());
+                ctx.storage
+                    .insert(seq.to_be_bytes().to_vec(), payload.to_vec());
                 ctx.emit("stored", seq.to_be_bytes().to_vec());
                 Ok(())
             }

@@ -98,7 +98,10 @@ mod tests {
                 declared: 1,
                 required: 2,
             },
-            ChainError::NonceMismatch { got: 5, expected: 4 },
+            ChainError::NonceMismatch {
+                got: 5,
+                expected: 4,
+            },
             ChainError::UnknownContract("x".into()),
         ];
         for e in errors {

@@ -102,7 +102,9 @@ pub fn simulate(config: &NetConfig) -> NetStats {
         verify_signatures: false,
         ..ChainConfig::default()
     };
-    let mut chains: Vec<Blockchain> = (0..n).map(|_| Blockchain::new(chain_config.clone())).collect();
+    let mut chains: Vec<Blockchain> = (0..n)
+        .map(|_| Blockchain::new(chain_config.clone()))
+        .collect();
     // Orphan buffers per node: parent hash -> blocks waiting for it.
     let mut orphans: Vec<HashMap<crate::block::BlockHash, Vec<Block>>> =
         (0..n).map(|_| HashMap::new()).collect();
@@ -111,10 +113,10 @@ pub fn simulate(config: &NetConfig) -> NetStats {
     let mut events: HashMap<usize, SimEvent> = HashMap::new();
     let mut seq = 0usize;
     let push = |queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
-                    events: &mut HashMap<usize, SimEvent>,
-                    seq: &mut usize,
-                    time: u64,
-                    event: SimEvent| {
+                events: &mut HashMap<usize, SimEvent>,
+                seq: &mut usize,
+                time: u64,
+                event: SimEvent| {
         let id = *seq;
         *seq += 1;
         events.insert(id, event);
@@ -130,7 +132,13 @@ pub fn simulate(config: &NetConfig) -> NetStats {
     for (i, h) in config.hashrates.iter().enumerate() {
         let rate = (h / total_rate) / config.mean_block_interval_ms;
         let dt = sample_exp(&mut rng, rate);
-        push(&mut queue, &mut events, &mut seq, dt, SimEvent::Mine { node: i });
+        push(
+            &mut queue,
+            &mut events,
+            &mut seq,
+            dt,
+            SimEvent::Mine { node: i },
+        );
     }
 
     let mut stats = NetStats {
@@ -218,10 +226,7 @@ fn deliver(
         }
         Ok(_) => {}
         Err(ChainError::UnknownParent) => {
-            orphans
-                .entry(block.header.parent)
-                .or_default()
-                .push(block);
+            orphans.entry(block.header.parent).or_default().push(block);
             return;
         }
         Err(e) => panic!("unexpected import failure in simulation: {e}"),
@@ -261,7 +266,11 @@ mod tests {
         });
         assert!(stats.converged, "stats: {stats:?}");
         assert!(stats.blocks_mined > 10);
-        assert!(stats.stale_rate() < 0.2, "stale rate {}", stats.stale_rate());
+        assert!(
+            stats.stale_rate() < 0.2,
+            "stale rate {}",
+            stats.stale_rate()
+        );
     }
 
     #[test]

@@ -149,7 +149,10 @@ impl Node {
     pub fn receive_block(&mut self, block: Block) -> Result<ImportOutcome, ChainError> {
         let ids: Vec<TxId> = block.transactions.iter().map(Transaction::id).collect();
         let outcome = self.chain.import(block)?;
-        if !matches!(outcome, ImportOutcome::SideChain | ImportOutcome::AlreadyKnown) {
+        if !matches!(
+            outcome,
+            ImportOutcome::SideChain | ImportOutcome::AlreadyKnown
+        ) {
             self.mempool.prune(ids.iter());
             self.host.sync_with(&self.chain);
         }
@@ -237,10 +240,7 @@ mod tests {
             .unwrap();
         let block = miner.mine_block(1_000).unwrap();
         follower.receive_block(block).unwrap();
-        assert_eq!(
-            follower.chain().tip_hash(),
-            miner.chain().tip_hash()
-        );
+        assert_eq!(follower.chain().tip_hash(), miner.chain().tip_hash());
         assert_eq!(follower.events().len(), miner.events().len());
     }
 

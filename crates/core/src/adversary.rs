@@ -44,11 +44,7 @@ pub trait Adversary {
     /// May corrupt the PDP's decision *before* the PDP-side probe sees it
     /// (a lying PDP — both response digests will match, only the Analyser
     /// can catch this).
-    fn corrupt_pdp_decision(
-        &mut self,
-        _envelope: &mut ResponseEnvelope,
-        _now: SimTime,
-    ) -> bool {
+    fn corrupt_pdp_decision(&mut self, _envelope: &mut ResponseEnvelope, _now: SimTime) -> bool {
         false
     }
 

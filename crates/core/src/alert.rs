@@ -1,10 +1,10 @@
 //! Security alerts raised by the monitor contract and the Analyser.
 
+use crate::logent::ObservationPoint;
 use drams_crypto::codec::{Decode, Encode, Reader, Writer};
 use drams_crypto::CryptoError;
 use drams_faas::des::SimTime;
 use drams_faas::msg::CorrelationId;
-use crate::logent::ObservationPoint;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -202,7 +202,11 @@ mod tests {
         for kind in all_kinds() {
             let alert = Alert::new(kind.clone(), CorrelationId(5), 100, "details");
             let bytes = alert.to_canonical_bytes();
-            assert_eq!(Alert::from_canonical_bytes(&bytes).unwrap(), alert, "{kind:?}");
+            assert_eq!(
+                Alert::from_canonical_bytes(&bytes).unwrap(),
+                alert,
+                "{kind:?}"
+            );
         }
     }
 

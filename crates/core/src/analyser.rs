@@ -122,11 +122,7 @@ impl Analyser {
         alerts
     }
 
-    fn load_entry(
-        node: &Node,
-        corr: CorrelationId,
-        point: ObservationPoint,
-    ) -> Option<LogEntry> {
+    fn load_entry(node: &Node, corr: CorrelationId, point: ObservationPoint) -> Option<LogEntry> {
         let storage = node.host().storage_of(MONITOR_CONTRACT)?;
         let mut key = Vec::with_capacity(16);
         key.extend_from_slice(b"ent/");
@@ -257,13 +253,13 @@ mod tests {
     use drams_chain::chain::ChainConfig;
     use drams_faas::model::{PepId, TenantId};
     use drams_policy::attr::Request;
+    use drams_policy::attr::{AttributeId, Category};
     use drams_policy::combining::CombiningAlg;
     use drams_policy::decision::{Effect, Response};
+    use drams_policy::expr::Expr;
     use drams_policy::policy::Policy;
     use drams_policy::rule::Rule;
     use drams_policy::target::Target;
-    use drams_policy::expr::Expr;
-    use drams_policy::attr::{AttributeId, Category};
 
     fn policy() -> PolicySet {
         PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)
@@ -533,8 +529,6 @@ mod tests {
             .pep_probe
             .observe_request(ObservationPoint::PepRequest, &env, 0);
         assert!(decrypt_entry_payload(&r.key, &entry).is_ok());
-        assert!(
-            decrypt_entry_payload(&SymmetricKey::from_bytes([99; 32]), &entry).is_err()
-        );
+        assert!(decrypt_entry_payload(&SymmetricKey::from_bytes([99; 32]), &entry).is_err());
     }
 }

@@ -164,7 +164,8 @@ impl MonitorContract {
 
         // Check 1: request digests must match across PEP and PDP.
         if group.flags & FLAG_REQ_ALERTED == 0
-            && group.mask & (ObservationPoint::PepRequest.bit() | ObservationPoint::PdpRequest.bit())
+            && group.mask
+                & (ObservationPoint::PepRequest.bit() | ObservationPoint::PdpRequest.bit())
                 == ObservationPoint::PepRequest.bit() | ObservationPoint::PdpRequest.bit()
         {
             let pep = Self::load_entry(ctx, entry.correlation, ObservationPoint::PepRequest)?;
@@ -255,9 +256,8 @@ impl MonitorContract {
             .collect();
         for corr in expired {
             let gkey = group_key(corr);
-            let mut group = GroupState::decode(
-                ctx.storage.get(&gkey).expect("scanned group exists"),
-            )?;
+            let mut group =
+                GroupState::decode(ctx.storage.get(&gkey).expect("scanned group exists"))?;
             for point in ObservationPoint::ALL {
                 if group.mask & point.bit() == 0 {
                     Self::emit_alert(
@@ -292,10 +292,7 @@ impl MonitorContract {
         }
         let alert = Alert::from_canonical_bytes(payload).map_err(|e| e.to_string())?;
         // Persist under a sequence number for auditability.
-        let seq = ctx
-            .storage
-            .scan_prefix(b"alert/")
-            .count() as u64;
+        let seq = ctx.storage.scan_prefix(b"alert/").count() as u64;
         let mut key = b"alert/".to_vec();
         key.extend_from_slice(&seq.to_be_bytes());
         ctx.storage.insert(key, payload.to_vec());
@@ -367,8 +364,7 @@ mod tests {
         node.register_contract(Box::new(MonitorContract));
         let li = Keypair::from_seed(b"li");
         let analyser = Keypair::from_seed(b"analyser");
-        let payload =
-            MonitorContract::init_payload(10_000, analyser.public().fingerprint());
+        let payload = MonitorContract::init_payload(10_000, analyser.public().fingerprint());
         node.submit_call(&li, MONITOR_CONTRACT, "init", payload)
             .unwrap();
         node.mine_block(0).unwrap();
@@ -414,10 +410,7 @@ mod tests {
         }
         node.mine_block(1_000).unwrap();
         assert!(alert_events(&node).is_empty());
-        assert!(node
-            .events()
-            .iter()
-            .any(|e| e.name == GROUP_COMPLETE_EVENT));
+        assert!(node.events().iter().any(|e| e.name == GROUP_COMPLETE_EVENT));
     }
 
     #[test]
@@ -540,17 +533,19 @@ mod tests {
         )
         .unwrap();
         node.mine_block(1_000).unwrap();
-        assert!(node
-            .events()
-            .iter()
-            .any(|e| e.name == GROUP_COMPLETE_EVENT));
+        assert!(node.events().iter().any(|e| e.name == GROUP_COMPLETE_EVENT));
         assert!(alert_events(&node).is_empty());
     }
 
     #[test]
     fn report_violation_requires_authorised_sender() {
         let (mut node, li, analyser) = test_node();
-        let alert = Alert::new(AlertKind::PolicyViolation, CorrelationId(7), 500, "lying pdp");
+        let alert = Alert::new(
+            AlertKind::PolicyViolation,
+            CorrelationId(7),
+            500,
+            "lying pdp",
+        );
         // Unauthorised sender (the LI) is rejected at execution.
         let id = node
             .submit_call(

@@ -312,10 +312,7 @@ pub fn run_monitor<A: Adversary>(
             &admin,
             MONITOR_CONTRACT,
             "init",
-            MonitorContract::init_payload(
-                config.group_timeout,
-                analyser_kp.public().fingerprint(),
-            ),
+            MonitorContract::init_payload(config.group_timeout, analyser_kp.public().fingerprint()),
         )
         .expect("init submission");
         node.mine_block(0).expect("genesis follow-up");
@@ -359,9 +356,8 @@ pub fn run_monitor<A: Adversary>(
                     report.requests_issued += 1;
                     let tenant_idx = rng.gen_range(0..tenant_count);
                     let tenant = &config.federation.tenants[tenant_idx];
-                    let service = tenant.services
-                        [rng.gen_range(0..tenant.services.len().max(1))]
-                    .clone();
+                    let service =
+                        tenant.services[rng.gen_range(0..tenant.services.len().max(1))].clone();
                     let request = generator.next_request();
                     let mut env = peps[tenant_idx].intercept(service, request, now);
                     issued_at_by_corr.insert(env.correlation, now);
@@ -403,8 +399,7 @@ pub fn run_monitor<A: Adversary>(
             }
             Ev::PdpReceive(env) => {
                 if config.monitoring_enabled {
-                    let entry =
-                        pdp_probe.observe_request(ObservationPoint::PdpRequest, &env, now);
+                    let entry = pdp_probe.observe_request(ObservationPoint::PdpRequest, &env, now);
                     deliver_to_li_infra(
                         &mut queue,
                         &config.federation,
@@ -467,8 +462,7 @@ pub fn run_monitor<A: Adversary>(
                     report.e2e_latency.record(now - issued);
                 }
                 if config.monitoring_enabled {
-                    let entry =
-                        pep_probes[tenant_idx].observe_pep_response(&env, granted, now);
+                    let entry = pep_probes[tenant_idx].observe_pep_response(&env, granted, now);
                     deliver_to_li(
                         &mut queue,
                         &config.federation,
@@ -483,9 +477,7 @@ pub fn run_monitor<A: Adversary>(
             }
             Ev::LiDeliver { li, entry } => {
                 li_pending[li].push(entry.observed_at);
-                let ids = lis[li]
-                    .store(entry, &mut node)
-                    .expect("li submission");
+                let ids = lis[li].store(entry, &mut node).expect("li submission");
                 assign_tx_times(&mut li_pending[li], &ids, &mut tx_entry_times);
                 report.max_mempool = report.max_mempool.max(node.mempool_len());
             }
@@ -629,10 +621,7 @@ fn assign_tx_times(
         return;
     }
     if ids.len() == 1 {
-        tx_entry_times
-            .entry(ids[0])
-            .or_default()
-            .append(pending);
+        tx_entry_times.entry(ids[0]).or_default().append(pending);
     } else {
         // one tx per entry, in order
         for (id, t) in ids.iter().zip(pending.drain(..)) {

@@ -103,7 +103,14 @@ impl Probe {
         ));
         let bytes = envelope.to_canonical_bytes();
         let digest = Digest::of(&bytes);
-        self.build_entry(envelope.correlation, point, digest, None, &bytes, observed_at)
+        self.build_entry(
+            envelope.correlation,
+            point,
+            digest,
+            None,
+            &bytes,
+            observed_at,
+        )
     }
 
     /// Observes a response envelope at [`ObservationPoint::PdpResponse`].
@@ -159,11 +166,7 @@ mod tests {
     use drams_policy::decision::{ExtDecision, Response};
 
     fn probe() -> Probe {
-        Probe::new(
-            ProbeId(1),
-            SymmetricKey::from_bytes([1; 32]),
-            [2; 32],
-        )
+        Probe::new(ProbeId(1), SymmetricKey::from_bytes([1; 32]), [2; 32])
     }
 
     fn request_env() -> RequestEnvelope {

@@ -164,9 +164,8 @@ impl U256 {
         for i in 0..4 {
             let mut carry: u128 = 0;
             for j in 0..4 {
-                let acc = u128::from(self.0[i]) * u128::from(other.0[j])
-                    + u128::from(out[i + j])
-                    + carry;
+                let acc =
+                    u128::from(self.0[i]) * u128::from(other.0[j]) + u128::from(out[i + j]) + carry;
                 out[i + j] = acc as u64;
                 carry = acc >> 64;
             }
@@ -336,12 +335,7 @@ impl U512 {
 
 impl fmt::Debug for U512 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let hex: String = self
-            .0
-            .iter()
-            .rev()
-            .map(|l| format!("{l:016x}"))
-            .collect();
+        let hex: String = self.0.iter().rev().map(|l| format!("{l:016x}")).collect();
         write!(f, "U512(0x{})", hex.trim_start_matches('0'))
     }
 }
@@ -415,8 +409,7 @@ fn div_rem_knuth(u_in: &[u64; 8], v_in: &[u64; 4]) -> (U512, U256) {
         let mut qhat = top / u128::from(vn[n - 1]);
         let mut rhat = top % u128::from(vn[n - 1]);
         loop {
-            if qhat >= b
-                || qhat * u128::from(vn[n - 2]) > (rhat << 64) + u128::from(un[j + n - 2])
+            if qhat >= b || qhat * u128::from(vn[n - 2]) > (rhat << 64) + u128::from(un[j + n - 2])
             {
                 qhat -= 1;
                 rhat += u128::from(vn[n - 1]);
@@ -540,7 +533,9 @@ mod tests {
     #[test]
     fn ordering_and_bits() {
         assert!(U256::ZERO < U256::ONE);
-        assert!(U256::from_u64(5) < U256::from_hex("1_0000_0000_0000_0000".replace('_', "").as_str()));
+        assert!(
+            U256::from_u64(5) < U256::from_hex("1_0000_0000_0000_0000".replace('_', "").as_str())
+        );
         assert_eq!(U256::ZERO.bits(), 0);
         assert_eq!(U256::ONE.bits(), 1);
         assert_eq!(U256::from_u64(0x80).bits(), 8);
@@ -596,7 +591,10 @@ mod tests {
         assert_eq!(U256::from_u64(2).mod_pow(&U256::ZERO, &m), U256::ONE);
         assert_eq!(U256::from_u64(2).mod_pow(&U256::ONE, &m), U256::from_u64(2));
         assert_eq!(U256::ZERO.mod_pow(&U256::from_u64(5), &m), U256::ZERO);
-        assert_eq!(U256::from_u64(7).mod_pow(&U256::ONE, &U256::ONE), U256::ZERO);
+        assert_eq!(
+            U256::from_u64(7).mod_pow(&U256::ONE, &U256::ONE),
+            U256::ZERO
+        );
     }
 
     #[test]

@@ -15,7 +15,6 @@
 //! * `seq` — varint count followed by each element
 
 use crate::CryptoError;
-use bytes::{Buf, BufMut, BytesMut};
 
 /// Canonical encoder.
 ///
@@ -39,49 +38,47 @@ use bytes::{Buf, BufMut, BytesMut};
 /// ```
 #[derive(Debug, Default)]
 pub struct Writer {
-    buf: BytesMut,
+    buf: Vec<u8>,
 }
 
 impl Writer {
     /// Creates an empty writer.
     #[must_use]
     pub fn new() -> Self {
-        Writer {
-            buf: BytesMut::new(),
-        }
+        Writer { buf: Vec::new() }
     }
 
     /// Creates a writer with pre-allocated capacity.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
         Writer {
-            buf: BytesMut::with_capacity(cap),
+            buf: Vec::with_capacity(cap),
         }
     }
 
     /// Appends a single byte.
     pub fn put_u8(&mut self, v: u8) {
-        self.buf.put_u8(v);
+        self.buf.push(v);
     }
 
     /// Appends a big-endian `u16`.
     pub fn put_u16(&mut self, v: u16) {
-        self.buf.put_u16(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u32`.
     pub fn put_u32(&mut self, v: u32) {
-        self.buf.put_u32(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends a big-endian `u64`.
     pub fn put_u64(&mut self, v: u64) {
-        self.buf.put_u64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends an `i64` using zig-zag-free two's-complement big-endian.
     pub fn put_i64(&mut self, v: i64) {
-        self.buf.put_i64(v);
+        self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
     /// Appends an `f64` as its IEEE-754 bit pattern.
@@ -89,12 +86,12 @@ impl Writer {
     /// Canonicality caveat: NaN payloads are preserved verbatim; the
     /// workspace never hashes NaNs.
     pub fn put_f64(&mut self, v: f64) {
-        self.buf.put_u64(v.to_bits());
+        self.put_u64(v.to_bits());
     }
 
     /// Appends a boolean as one byte (0 or 1).
     pub fn put_bool(&mut self, v: bool) {
-        self.buf.put_u8(u8::from(v));
+        self.buf.push(u8::from(v));
     }
 
     /// Appends an unsigned LEB128 varint.
@@ -103,22 +100,22 @@ impl Writer {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.put_u8(byte);
+                self.buf.push(byte);
                 break;
             }
-            self.buf.put_u8(byte | 0x80);
+            self.buf.push(byte | 0x80);
         }
     }
 
     /// Appends length-prefixed raw bytes.
     pub fn put_bytes(&mut self, v: &[u8]) {
         self.put_varint(v.len() as u64);
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Appends raw bytes with **no** length prefix (fixed-width fields).
     pub fn put_raw(&mut self, v: &[u8]) {
-        self.buf.put_slice(v);
+        self.buf.extend_from_slice(v);
     }
 
     /// Appends a length-prefixed UTF-8 string.
@@ -141,7 +138,7 @@ impl Writer {
     /// Consumes the writer and returns the encoded bytes.
     #[must_use]
     pub fn into_bytes(self) -> Vec<u8> {
-        self.buf.to_vec()
+        self.buf
     }
 }
 
@@ -159,14 +156,18 @@ impl<'a> Reader<'a> {
     }
 
     fn need(&self, n: usize) -> Result<(), CryptoError> {
-        if self.buf.remaining() < n {
+        if self.buf.len() < n {
             Err(CryptoError::Malformed(format!(
                 "need {n} bytes, have {}",
-                self.buf.remaining()
+                self.buf.len()
             )))
         } else {
             Ok(())
         }
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.buf = &self.buf[n..];
     }
 
     /// Reads one byte.
@@ -177,31 +178,29 @@ impl<'a> Reader<'a> {
     /// other `get_*` methods).
     pub fn get_u8(&mut self) -> Result<u8, CryptoError> {
         self.need(1)?;
-        Ok(self.buf.get_u8())
+        let v = self.buf[0];
+        self.advance(1);
+        Ok(v)
     }
 
     /// Reads a big-endian `u16`.
     pub fn get_u16(&mut self) -> Result<u16, CryptoError> {
-        self.need(2)?;
-        Ok(self.buf.get_u16())
+        Ok(u16::from_be_bytes(self.get_array::<2>()?))
     }
 
     /// Reads a big-endian `u32`.
     pub fn get_u32(&mut self) -> Result<u32, CryptoError> {
-        self.need(4)?;
-        Ok(self.buf.get_u32())
+        Ok(u32::from_be_bytes(self.get_array::<4>()?))
     }
 
     /// Reads a big-endian `u64`.
     pub fn get_u64(&mut self) -> Result<u64, CryptoError> {
-        self.need(8)?;
-        Ok(self.buf.get_u64())
+        Ok(u64::from_be_bytes(self.get_array::<8>()?))
     }
 
     /// Reads an `i64`.
     pub fn get_i64(&mut self) -> Result<i64, CryptoError> {
-        self.need(8)?;
-        Ok(self.buf.get_i64())
+        Ok(i64::from_be_bytes(self.get_array::<8>()?))
     }
 
     /// Reads an `f64` bit pattern.
@@ -246,17 +245,14 @@ impl<'a> Reader<'a> {
     /// Reads length-prefixed bytes.
     pub fn get_bytes(&mut self) -> Result<Vec<u8>, CryptoError> {
         let len = self.get_varint()? as usize;
-        self.need(len)?;
-        let out = self.buf[..len].to_vec();
-        self.buf.advance(len);
-        Ok(out)
+        self.get_raw(len)
     }
 
     /// Reads `n` raw bytes (no length prefix).
     pub fn get_raw(&mut self, n: usize) -> Result<Vec<u8>, CryptoError> {
         self.need(n)?;
         let out = self.buf[..n].to_vec();
-        self.buf.advance(n);
+        self.advance(n);
         Ok(out)
     }
 
@@ -265,7 +261,7 @@ impl<'a> Reader<'a> {
         self.need(N)?;
         let mut out = [0u8; N];
         out.copy_from_slice(&self.buf[..N]);
-        self.buf.advance(N);
+        self.advance(N);
         Ok(out)
     }
 
@@ -278,18 +274,18 @@ impl<'a> Reader<'a> {
     /// Remaining unread byte count.
     #[must_use]
     pub fn remaining(&self) -> usize {
-        self.buf.remaining()
+        self.buf.len()
     }
 
     /// Asserts that the input was fully consumed (canonicality: no
     /// trailing garbage).
     pub fn finish(self) -> Result<(), CryptoError> {
-        if self.buf.remaining() == 0 {
+        if self.buf.is_empty() {
             Ok(())
         } else {
             Err(CryptoError::Malformed(format!(
                 "{} trailing bytes",
-                self.buf.remaining()
+                self.buf.len()
             )))
         }
     }
@@ -450,7 +446,17 @@ mod tests {
 
     #[test]
     fn varint_round_trips() {
-        for v in [0u64, 1, 127, 128, 300, 16383, 16384, u32::MAX as u64, u64::MAX] {
+        for v in [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX,
+        ] {
             let mut w = Writer::new();
             w.put_varint(v);
             let bytes = w.into_bytes();

@@ -339,10 +339,7 @@ mod tests {
 
     #[test]
     fn of_parts_equals_concat() {
-        assert_eq!(
-            Digest::of_parts(&[b"ab", b"", b"c"]),
-            Digest::of(b"abc")
-        );
+        assert_eq!(Digest::of_parts(&[b"ab", b"", b"c"]), Digest::of(b"abc"));
     }
 
     #[test]

@@ -7,8 +7,8 @@
 //! returned decision with a configurable bias for the non-definitive
 //! outcomes (`NotApplicable` / `Indeterminate`).
 
-use crate::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use crate::model::{PepId, TenantId};
+use crate::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use drams_policy::decision::Decision;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;

@@ -126,8 +126,14 @@ mod tests {
         let mut prp = Prp::new(policy("same"));
         prp.publish(policy("same"));
         // identical content ⇒ identical digest even across versions
-        assert_eq!(prp.version(0).unwrap().digest, prp.version(1).unwrap().digest);
+        assert_eq!(
+            prp.version(0).unwrap().digest,
+            prp.version(1).unwrap().digest
+        );
         prp.publish(policy("different"));
-        assert_ne!(prp.version(0).unwrap().digest, prp.version(2).unwrap().digest);
+        assert_ne!(
+            prp.version(0).unwrap().digest,
+            prp.version(2).unwrap().digest
+        );
     }
 }

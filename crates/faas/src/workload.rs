@@ -111,7 +111,9 @@ impl Default for Vocabulary {
             roles: ["doctor", "nurse", "researcher", "admin", "auditor"]
                 .map(String::from)
                 .to_vec(),
-            actions: ["read", "write", "delete", "share"].map(String::from).to_vec(),
+            actions: ["read", "write", "delete", "share"]
+                .map(String::from)
+                .to_vec(),
             resource_types: ["record", "image", "prescription", "report"]
                 .map(String::from)
                 .to_vec(),
@@ -274,9 +276,7 @@ impl PolicyGenerator {
             let mut policy = Policy::builder(format!("policy-{p}"), shape.policy_algorithm);
             // Target the policy at one resource type, so policies partition
             // the space roughly like real federations do.
-            let rtype = self.vocab.resource_types
-                [p % self.vocab.resource_types.len()]
-            .clone();
+            let rtype = self.vocab.resource_types[p % self.vocab.resource_types.len()].clone();
             policy = policy.target(Target::expr(Expr::equal(
                 Self::attr(Category::Resource, "type"),
                 Expr::lit(rtype),

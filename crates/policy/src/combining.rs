@@ -317,10 +317,7 @@ mod tests {
         assert_eq!(run(A, &[]), D::NotApplicable);
         assert_eq!(run(A, &[D::IndeterminateDP, D::Permit]), D::IndeterminateDP);
         // IndD + Permit → IndDP
-        assert_eq!(
-            run(A, &[D::IndeterminateD, D::Permit]),
-            D::IndeterminateDP
-        );
+        assert_eq!(run(A, &[D::IndeterminateD, D::Permit]), D::IndeterminateDP);
         // IndD + IndP → IndDP
         assert_eq!(
             run(A, &[D::IndeterminateD, D::IndeterminateP]),
@@ -342,10 +339,7 @@ mod tests {
         use CombiningAlg::PermitOverrides as A;
         assert_eq!(run(A, &[D::Permit, D::Deny]), D::Permit);
         assert_eq!(run(A, &[D::Deny, D::Deny]), D::Deny);
-        assert_eq!(
-            run(A, &[D::IndeterminateP, D::Deny]),
-            D::IndeterminateDP
-        );
+        assert_eq!(run(A, &[D::IndeterminateP, D::Deny]), D::IndeterminateDP);
         assert_eq!(
             run(A, &[D::IndeterminateP, D::IndeterminateD]),
             D::IndeterminateDP
@@ -362,10 +356,7 @@ mod tests {
         assert_eq!(run(A, &[D::NotApplicable, D::Deny, D::Permit]), D::Deny);
         assert_eq!(run(A, &[D::Permit, D::Deny]), D::Permit);
         assert_eq!(run(A, &[D::NotApplicable]), D::NotApplicable);
-        assert_eq!(
-            run(A, &[D::IndeterminateP, D::Deny]),
-            D::IndeterminateP
-        );
+        assert_eq!(run(A, &[D::IndeterminateP, D::Deny]), D::IndeterminateP);
     }
 
     #[test]
@@ -383,10 +374,7 @@ mod tests {
         );
         // indeterminate target → IndDP
         let children = vec![Fixed::new(D::Permit).indeterminate_target()];
-        assert_eq!(
-            combine(A, &children, &Request::new()).0,
-            D::IndeterminateDP
-        );
+        assert_eq!(combine(A, &children, &Request::new()).0, D::IndeterminateDP);
     }
 
     #[test]

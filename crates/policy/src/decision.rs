@@ -80,7 +80,9 @@ impl ExtDecision {
     pub fn is_indeterminate(self) -> bool {
         matches!(
             self,
-            ExtDecision::IndeterminateP | ExtDecision::IndeterminateD | ExtDecision::IndeterminateDP
+            ExtDecision::IndeterminateP
+                | ExtDecision::IndeterminateD
+                | ExtDecision::IndeterminateDP
         )
     }
 }
@@ -409,7 +411,10 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(ExtDecision::IndeterminateDP.to_string(), "Indeterminate{DP}");
+        assert_eq!(
+            ExtDecision::IndeterminateDP.to_string(),
+            "Indeterminate{DP}"
+        );
         let r = Response::new(
             ExtDecision::Deny,
             vec![Obligation::new("alert", Effect::Deny)],

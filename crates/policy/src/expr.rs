@@ -382,13 +382,15 @@ fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, Eval
             let dominant = func == Func::Or;
             let mut saw_error: Option<EvalError> = None;
             for arg in args {
-                match arg.eval(request).and_then(|v| match v.single(func.name())? {
-                    V::Bool(b) => Ok(b),
-                    other => Err(EvalError::TypeMismatch {
-                        function: func.name().to_string(),
-                        detail: format!("expected bool operand, got {}", other.type_name()),
-                    }),
-                }) {
+                match arg
+                    .eval(request)
+                    .and_then(|v| match v.single(func.name())? {
+                        V::Bool(b) => Ok(b),
+                        other => Err(EvalError::TypeMismatch {
+                            function: func.name().to_string(),
+                            detail: format!("expected bool operand, got {}", other.type_name()),
+                        }),
+                    }) {
                     Ok(b) if b == dominant => return Ok(Evaluated::One(V::Bool(dominant))),
                     Ok(_) => {}
                     Err(e) => saw_error = Some(saw_error.unwrap_or(e)),
@@ -436,7 +438,11 @@ fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, Eval
                 }
                 _ => Err(EvalError::TypeMismatch {
                     function: func.name().to_string(),
-                    detail: format!("expected strings, got {} and {}", a.type_name(), b.type_name()),
+                    detail: format!(
+                        "expected strings, got {} and {}",
+                        a.type_name(),
+                        b.type_name()
+                    ),
                 }),
             }
         }
@@ -456,8 +462,8 @@ fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, Eval
 }
 
 fn compare(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<bool, EvalError> {
-    use AttributeValue as V;
     use std::cmp::Ordering;
+    use AttributeValue as V;
     let ord = match (a, b) {
         (V::Str(x), V::Str(y)) => x.cmp(y),
         _ => {
@@ -466,11 +472,7 @@ fn compare(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<bool, E
                 _ => {
                     return Err(EvalError::TypeMismatch {
                         function: func.name().to_string(),
-                        detail: format!(
-                            "cannot compare {} with {}",
-                            a.type_name(),
-                            b.type_name()
-                        ),
+                        detail: format!("cannot compare {} with {}", a.type_name(), b.type_name()),
                     })
                 }
             };
@@ -505,7 +507,11 @@ fn arithmetic(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<Eval
                 _ => {
                     return Err(EvalError::TypeMismatch {
                         function: func.name().to_string(),
-                        detail: format!("expected numbers, got {} and {}", a.type_name(), b.type_name()),
+                        detail: format!(
+                            "expected numbers, got {} and {}",
+                            a.type_name(),
+                            b.type_name()
+                        ),
                     })
                 }
             };
@@ -623,9 +629,11 @@ mod tests {
         assert!(Expr::Apply(Func::Less, vec![h.clone(), Expr::lit(18i64)])
             .eval_bool(&req())
             .unwrap());
-        assert!(Expr::Apply(Func::GreaterEq, vec![h.clone(), Expr::lit(14i64)])
-            .eval_bool(&req())
-            .unwrap());
+        assert!(
+            Expr::Apply(Func::GreaterEq, vec![h.clone(), Expr::lit(14i64)])
+                .eval_bool(&req())
+                .unwrap()
+        );
         // int vs double coercion
         assert!(Expr::Apply(Func::Greater, vec![h, Expr::lit(13.5)])
             .eval_bool(&req())
@@ -680,10 +688,7 @@ mod tests {
 
     #[test]
     fn not_negates() {
-        assert_eq!(
-            Expr::not(Expr::lit(true)).eval_bool(&req()).unwrap(),
-            false
-        );
+        assert_eq!(Expr::not(Expr::lit(true)).eval_bool(&req()).unwrap(), false);
         assert!(Expr::not(Expr::lit(1i64)).eval_bool(&req()).is_err());
     }
 

@@ -66,7 +66,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -467,9 +471,7 @@ impl Parser {
                             "obligation" => {
                                 builder = builder.obligation(self.parse_obligation()?);
                             }
-                            other => {
-                                return self.err(format!("unexpected `{other}` in rule body"))
-                            }
+                            other => return self.err(format!("unexpected `{other}` in rule body")),
                         }
                     }
                     Some(t) => return self.err(format!("unexpected {t:?} in rule body")),
@@ -637,8 +639,7 @@ fn write_rule(r: &Rule, depth: usize, out: &mut String) {
         Effect::Permit => "permit",
         Effect::Deny => "deny",
     };
-    let has_body =
-        r.target != Target::Any || r.condition.is_some() || !r.obligations.is_empty();
+    let has_body = r.target != Target::Any || r.condition.is_some() || !r.obligations.is_empty();
     if !has_body {
         out.push_str(&format!("rule {} ({effect})\n", r.id));
         return;
@@ -785,8 +786,8 @@ policyset root { deny-overrides
 
     #[test]
     fn parse_expr_attr_and_nested_calls() {
-        let e = parse_expr("and(equal(subject.role, \"dr\"), not(in(\"x\", resource.tags)))")
-            .unwrap();
+        let e =
+            parse_expr("and(equal(subject.role, \"dr\"), not(in(\"x\", resource.tags)))").unwrap();
         assert_eq!(e.referenced_attributes().len(), 2);
     }
 
@@ -809,7 +810,10 @@ policyset root { deny-overrides
 
     #[test]
     fn rejects_unterminated_string() {
-        assert!(parse_policy_set("policyset x { deny-overrides target: equal(subject.a, \"oops) }").is_err());
+        assert!(parse_policy_set(
+            "policyset x { deny-overrides target: equal(subject.a, \"oops) }"
+        )
+        .is_err());
     }
 
     #[test]

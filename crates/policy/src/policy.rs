@@ -465,10 +465,7 @@ mod tests {
     #[test]
     fn policy_target_gates_rules() {
         let p = sample_policy();
-        assert_eq!(
-            p.evaluate(&request("nurse")).0,
-            ExtDecision::NotApplicable
-        );
+        assert_eq!(p.evaluate(&request("nurse")).0, ExtDecision::NotApplicable);
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl Rule {
     pub fn evaluate(&self, request: &Request) -> (ExtDecision, Vec<Obligation>) {
         match self.target.matches(request) {
             MatchResult::NoMatch => (ExtDecision::NotApplicable, Vec::new()),
-            MatchResult::Indeterminate => {
-                (ExtDecision::indeterminate_for(self.effect), Vec::new())
-            }
+            MatchResult::Indeterminate => (ExtDecision::indeterminate_for(self.effect), Vec::new()),
             MatchResult::Match => match &self.condition {
                 None => self.fire(),
                 Some(cond) => match cond.eval_bool(request) {

@@ -1,7 +1,7 @@
 //! Property tests of the XACML combining-algorithm algebra, over
 //! shrinkable randomly-generated policies and requests.
 
-use drams_policy::attr::{AttributeId, AttributeValue, Category, Request};
+use drams_policy::attr::{AttributeId, Category, Request};
 use drams_policy::combining::CombiningAlg;
 use drams_policy::decision::{Decision, Effect, ExtDecision};
 use drams_policy::expr::{Expr, Func};

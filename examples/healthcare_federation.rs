@@ -12,8 +12,8 @@
 use drams::attack::{score, ScriptedAdversary, ThreatKind};
 use drams::core::monitor::{run_monitor, MonitorConfig};
 use drams::policy::parser::parse_policy_set;
-use drams_faas::model::FederationSpec;
 use drams_faas::des::{MILLIS, SECONDS};
+use drams_faas::model::FederationSpec;
 
 const HOSPITAL_POLICY: &str = r#"
 policyset hospitals { deny-unless-permit
@@ -57,10 +57,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "granted / refused  : {} / {}",
         report.granted, report.refused
     );
-    println!(
-        "responses tampered : {}",
-        truth.tampered_responses.len()
-    );
+    println!("responses tampered : {}", truth.tampered_responses.len());
 
     let s = score(ThreatKind::TamperResponse, &report, &truth);
     println!("\ndetection rate     : {:.1}%", s.rate() * 100.0);
@@ -79,7 +76,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.e2e_latency.percentile(99.0) as f64 / 1_000.0
     );
 
-    assert_eq!(s.detected, s.attacks, "every flipped decision must be caught");
-    println!("\nAll {} tampered responses were detected on-chain.", s.attacks);
+    assert_eq!(
+        s.detected, s.attacks,
+        "every flipped decision must be caught"
+    );
+    println!(
+        "\nAll {} tampered responses were detected on-chain.",
+        s.attacks
+    );
     Ok(())
 }

@@ -9,9 +9,9 @@
 //!
 //! Run with: `cargo run --example hybrid_store`
 
-use drams::store::{AnchorContract, AnchoredStore, AuditOutcome};
 use drams::chain::chain::ChainConfig;
 use drams::chain::node::Node;
+use drams::store::{AnchorContract, AnchoredStore, AuditOutcome};
 use drams_crypto::schnorr::Keypair;
 
 fn fresh_node() -> Node {
@@ -58,7 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     node.mine_block(1_000)?;
 
     // Forge an anchored entry: caught.
-    store.log_mut().tamper(10, b"the doctor was never here".to_vec());
+    store
+        .log_mut()
+        .tamper(10, b"the doctor was never here".to_vec());
     let outcome = store.audit(10, &node);
     println!("  entry 10 (anchored, forged)   : {outcome:?}");
     assert_eq!(outcome, AuditOutcome::TamperDetected);

@@ -72,7 +72,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nchange impact v1 → v2 (doctors now restricted to daytime):");
     println!(
         "  newly permitted : {}",
-        impact.now_permitted.as_ref().map_or("none".to_string(), |w| format!("{w:?}"))
+        impact
+            .now_permitted
+            .as_ref()
+            .map_or("none".to_string(), |w| format!("{w:?}"))
     );
     match &impact.lost_permit {
         Some(w) => {

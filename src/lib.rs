@@ -19,6 +19,26 @@
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the experiment catalogue.
+//!
+//! # Example: a full monitored federation run
+//!
+//! The whole of Figure 1 — PEPs, PDP, probes, Logging Interfaces, the
+//! monitor contract mining blocks, and the Analyser re-evaluating every
+//! logged decision — in one call:
+//!
+//! ```
+//! use drams::core::adversary::NoAdversary;
+//! use drams::core::monitor::{run_monitor, MonitorConfig};
+//!
+//! let config = MonitorConfig {
+//!     total_requests: 10,
+//!     ..MonitorConfig::default()
+//! };
+//! let (report, truth) = run_monitor(&config, &mut NoAdversary);
+//! assert_eq!(report.requests_completed, 10);
+//! assert_eq!(truth.total_attacks(), 0);
+//! assert!(report.alerts.is_empty(), "an honest run raises no alerts");
+//! ```
 
 pub use drams_analysis as analysis;
 pub use drams_attack as attack;

@@ -49,8 +49,7 @@ fn symbolic_witnesses_replay_on_concrete_engine() {
                     "deny witness, shape {i}, seed {seed}"
                 );
             }
-            if let Completeness::Incomplete { witness } = completeness(&set).expect("analysable")
-            {
+            if let Completeness::Incomplete { witness } = completeness(&set).expect("analysable") {
                 let d = set.evaluate(&witness).0.to_decision();
                 assert!(
                     d == Decision::NotApplicable || d == Decision::Indeterminate,

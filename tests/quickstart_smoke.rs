@@ -1,0 +1,31 @@
+//! Smoke test: `examples/quickstart.rs` must run to completion.
+//!
+//! The quickstart is the first thing README.md tells a newcomer to run,
+//! so it gets the same CI guarantee as the library: this test drives it
+//! through `cargo run --example quickstart` (the exact command the
+//! README gives) and checks both the exit status and the final OK line.
+
+use std::process::Command;
+
+#[test]
+fn quickstart_example_runs_to_completion() {
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let manifest_dir = env!("CARGO_MANIFEST_DIR");
+    let output = Command::new(cargo)
+        .args(["run", "--example", "quickstart"])
+        .current_dir(manifest_dir)
+        .output()
+        .expect("failed to spawn cargo");
+
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        output.status.success(),
+        "quickstart exited with {:?}\nstdout:\n{stdout}\nstderr:\n{stderr}",
+        output.status.code()
+    );
+    assert!(
+        stdout.contains("OK: an honest federation raises no alerts."),
+        "quickstart did not reach its final OK line\nstdout:\n{stdout}"
+    );
+}

@@ -1,0 +1,283 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! `drams-bench` targets use: [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::bench_function`] / [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] (with `sample_size`, `throughput`,
+//! `bench_function`, `bench_with_input`, `finish`), [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`BenchmarkId`], [`Throughput`],
+//! [`BatchSize`] and [`black_box`].
+//!
+//! Statistics are intentionally simple: each benchmark runs a short
+//! warm-up followed by `sample_size` timed batches and reports the mean
+//! time per iteration (plus derived throughput when declared). That is
+//! enough to compare the relative cost of the paper's experiment knobs
+//! without the real criterion's bootstrap analysis.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion-style.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared units of work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hint for how expensive batch setup is. The stand-in treats all
+/// variants identically (fresh input per iteration).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Re-run setup for every iteration.
+    PerIteration,
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Parameter-only id (joined to the group name when printed).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs the measured closure and accumulates timing.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the measurement).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+fn run_one(
+    name: &str,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    // Warm-up: one small batch to page code in and let the routine pick
+    // its own iteration count behaviour.
+    let mut warm = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut warm);
+    // Aim for a handful of iterations per sample, scaled down if a
+    // single iteration is slow (>= ~10ms).
+    let per_iter = warm.elapsed.max(Duration::from_nanos(1));
+    let iters_per_sample =
+        (Duration::from_millis(10).as_nanos() / per_iter.as_nanos()).clamp(1, 1000) as u64;
+
+    let mut total = Duration::ZERO;
+    let mut iters = 0u64;
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        total += b.elapsed;
+        iters += b.iters;
+    }
+    let mean_ns = total.as_nanos() as f64 / iters.max(1) as f64;
+    match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mibs = n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            println!("bench {name:<48} {mean_ns:>14.1} ns/iter  {mibs:>10.1} MiB/s");
+        }
+        Some(Throughput::Elements(n)) => {
+            let eps = n as f64 / (mean_ns / 1e9);
+            println!("bench {name:<48} {mean_ns:>14.1} ns/iter  {eps:>10.0} elem/s");
+        }
+        None => println!("bench {name:<48} {mean_ns:>14.1} ns/iter"),
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.default_sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing sample-size and throughput
+/// settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.sample_size, self.throughput, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (printing is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Declares a group function running each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = 0u32;
+        c.bench_function("smoke/add", |b| {
+            b.iter(|| black_box(2u64) + black_box(3));
+        });
+        // Group with throughput + batched iteration.
+        let mut group = c.benchmark_group("smoke-group");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(8));
+        group.bench_with_input(BenchmarkId::new("sum", 8), &vec![1u8; 8], |b, v| {
+            b.iter(|| v.iter().map(|&x| u64::from(x)).sum::<u64>());
+        });
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 16], |v| v.len(), BatchSize::SmallInput);
+        });
+        group.finish();
+        ran += 1;
+        assert_eq!(ran, 1);
+    }
+}

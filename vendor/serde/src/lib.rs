@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde` 1.x.
+//!
+//! Provides the `Serialize` / `Deserialize` names the workspace imports,
+//! as marker traits with blanket impls, plus the no-op derive macros.
+//! Nothing in the workspace serialises through serde (the canonical
+//! codec in `drams-crypto` is the only wire format), so marker semantics
+//! are sufficient: any `T: Serialize` bound is trivially satisfied.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all
+/// types so derive output can be empty.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all
+/// types so derive output can be empty.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace never serialises through serde — all persistent and
+//! on-wire encodings go through the canonical codec in `drams-crypto` —
+//! so `#[derive(Serialize, Deserialize)]` only needs to compile. The
+//! vendored `serde` crate provides blanket impls of both marker traits,
+//! which means these derives can expand to nothing at all.
+
+use proc_macro::TokenStream;
+
+/// No-op derive: the blanket impl in the vendored `serde` crate already
+/// covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op derive: the blanket impl in the vendored `serde` crate already
+/// covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
