@@ -9,10 +9,12 @@
 
 use drams_crypto::sha256::Digest;
 use drams_policy::attr::Request;
+use drams_policy::compiled::PreparedPolicySet;
 use drams_policy::decision::{Decision, Response};
 use drams_policy::policy::PolicySet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Why a logged decision was judged incorrect.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,18 +85,32 @@ impl Verdict {
 }
 
 /// The decision-verification oracle.
+///
+/// Holds the authorised policy in both forms: the source tree (for
+/// inspection and the interpreted reference path) and the compiled
+/// [`PreparedPolicySet`] the re-evaluation hot path runs on — the
+/// Analyser replays *every* completed observation group through
+/// [`DecisionVerifier::expected_response`], so this is the second
+/// heaviest policy-evaluation path after the PDP itself.
 #[derive(Debug, Clone)]
 pub struct DecisionVerifier {
     policy: PolicySet,
+    prepared: Arc<PreparedPolicySet>,
     version: Digest,
 }
 
 impl DecisionVerifier {
-    /// Creates a verifier pinned to the given authorised policy.
+    /// Creates a verifier pinned to the given authorised policy,
+    /// compiling it once.
     #[must_use]
     pub fn new(policy: PolicySet) -> Self {
-        let version = policy.version_digest();
-        DecisionVerifier { policy, version }
+        let prepared = Arc::new(PreparedPolicySet::compile(&policy));
+        let version = prepared.version_digest();
+        DecisionVerifier {
+            policy,
+            prepared,
+            version,
+        }
     }
 
     /// The authorised policy version digest.
@@ -103,16 +119,33 @@ impl DecisionVerifier {
         self.version
     }
 
+    /// The authorised policy (source form).
+    #[must_use]
+    pub fn policy(&self) -> &PolicySet {
+        &self.policy
+    }
+
     /// Replaces the authorised policy (e.g. after a legitimate update
     /// announced through the policy administration channel).
     pub fn set_policy(&mut self, policy: PolicySet) {
-        self.version = policy.version_digest();
+        self.prepared = Arc::new(PreparedPolicySet::compile(&policy));
+        self.version = self.prepared.version_digest();
         self.policy = policy;
     }
 
-    /// The response the authorised policy yields for `request`.
+    /// The response the authorised policy yields for `request`
+    /// (compiled engine).
     #[must_use]
     pub fn expected_response(&self, request: &Request) -> Response {
+        let (extended, obligations) = self.prepared.evaluate(request);
+        Response::new(extended, obligations)
+    }
+
+    /// The response via the tree-walking reference interpreter — the
+    /// oracle the compiled path is cross-checked against in tests and
+    /// benches.
+    #[must_use]
+    pub fn expected_response_interpreted(&self, request: &Request) -> Response {
         let (extended, obligations) = self.policy.evaluate(request);
         Response::new(extended, obligations)
     }
@@ -252,6 +285,24 @@ mod tests {
         assert_eq!(
             verifier.expected_response(&doctor()).decision,
             Decision::Permit
+        );
+    }
+
+    #[test]
+    fn compiled_and_interpreted_oracles_agree() {
+        let verifier = DecisionVerifier::new(policy());
+        for role in ["doctor", "nurse", "admin"] {
+            let req = Request::builder().subject("role", role).build();
+            assert_eq!(
+                verifier.expected_response(&req),
+                verifier.expected_response_interpreted(&req)
+            );
+        }
+        // missing attribute → deny-unless-permit collapses Indeterminate
+        let empty = Request::new();
+        assert_eq!(
+            verifier.expected_response(&empty),
+            verifier.expected_response_interpreted(&empty)
         );
     }
 

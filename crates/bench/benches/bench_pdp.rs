@@ -1,5 +1,6 @@
-//! E5 (Criterion half): PDP decision latency vs policy-base size, and
-//! Analyser re-evaluation throughput.
+//! E5 (Criterion half): PDP decision latency vs policy-base size —
+//! tree-walking interpreter vs compiled engine (and the decision cache
+//! on top) — plus Analyser re-evaluation throughput.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drams_analysis::verify::DecisionVerifier;
@@ -8,24 +9,50 @@ use drams_policy::pdp::Pdp;
 
 fn bench_pdp_scaling(c: &mut Criterion) {
     let mut group = c.benchmark_group("pdp_evaluate");
-    for policies in [10usize, 100, 500] {
+    for policies in [10usize, 100, 1000] {
         let mut pgen = PolicyGenerator::new(Vocabulary::default(), 5);
         let set = pgen.next_policy_set(&PolicyShape {
             policies,
             rules_per_policy: 5,
             ..PolicyShape::default()
         });
-        let pdp = Pdp::new(set);
+        // Cache off: the compiled-engine numbers must not hide behind
+        // memoisation. The cached variant is measured separately.
+        let pdp = Pdp::with_cache_capacity(set.clone(), 0);
+        let pdp_cached = Pdp::new(set);
         let mut rgen = RequestGenerator::new(Vocabulary::default(), 1.0, 6);
         let requests: Vec<_> = (0..64).map(|_| rgen.next_request()).collect();
+
         let mut i = 0usize;
         group.bench_with_input(
-            BenchmarkId::from_parameter(policies),
+            BenchmarkId::new("interpreter", policies),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    i = (i + 1) % requests.len();
+                    pdp.evaluate_interpreted(&requests[i])
+                });
+            },
+        );
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("compiled", policies),
             &requests,
             |b, requests| {
                 b.iter(|| {
                     i = (i + 1) % requests.len();
                     pdp.evaluate(&requests[i])
+                });
+            },
+        );
+        let mut i = 0usize;
+        group.bench_with_input(
+            BenchmarkId::new("compiled+cache", policies),
+            &requests,
+            |b, requests| {
+                b.iter(|| {
+                    i = (i + 1) % requests.len();
+                    pdp_cached.evaluate(&requests[i])
                 });
             },
         );
@@ -49,6 +76,24 @@ fn bench_analyser_reevaluation(c: &mut Criterion) {
             (req, resp)
         })
         .collect();
+    // Like-for-like engine comparison: both legs measure only the
+    // re-evaluation (the full verify() path is timed separately below).
+    let mut i = 0usize;
+    c.bench_function("analyser_reevaluate/50-policies/compiled", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            verifier.expected_response(&pairs[i].0)
+        });
+    });
+    let mut i = 0usize;
+    c.bench_function("analyser_reevaluate/50-policies/interpreter", |b| {
+        b.iter(|| {
+            i = (i + 1) % pairs.len();
+            verifier.expected_response_interpreted(&pairs[i].0)
+        });
+    });
+    // End-to-end verification of a logged pair (compiled re-evaluation
+    // plus decision/obligation comparison).
     let mut i = 0usize;
     c.bench_function("analyser_verify/50-policies", |b| {
         b.iter(|| {

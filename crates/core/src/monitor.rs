@@ -34,8 +34,8 @@ use drams_faas::des::{EventQueue, LatencyStats, SimTime, MILLIS, SECONDS};
 use drams_faas::model::FederationSpec;
 use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use drams_faas::pep::{EnforcementBias, Pep};
+use drams_faas::prp::Prp;
 use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary};
-use drams_policy::pdp::Pdp;
 use drams_policy::policy::PolicySet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -262,7 +262,15 @@ pub fn run_monitor<A: Adversary>(
         }
         None => authorised.clone(),
     };
-    let pdp = Pdp::new(active_policy);
+    // The PRP stores (and pre-compiles) the policy the PDP actually
+    // serves — deliberately the *active* policy, not the authorised one:
+    // the paper's swap-policy threat is an unauthorised substitution at
+    // the PRP, and the Analyser detects it from its own independent
+    // authorised copy. Building the PDP from the active version's
+    // prepared form means the decision path runs the compiled engine
+    // with its decision cache from the start.
+    let prp = Prp::new(active_policy);
+    let pdp = prp.active().pdp();
 
     // --- monitoring plane -------------------------------------------------
     let key = SymmetricKey::from_bytes([42; 32]);

@@ -4,9 +4,18 @@
 //! 1). It keeps the full version history of the federation policy; the
 //! DRAMS Analyser pins its authorised copy to a PRP version digest, which
 //! is what makes unauthorised policy swaps at the PDP detectable.
+//!
+//! Every published version is **compiled once** at publication time
+//! (`drams_policy::compiled`), so activating a version — including
+//! rolling back to an old one — hands the PDP a ready-to-run
+//! [`PreparedPolicySet`] instead of stalling the decision path on
+//! recompilation.
 
 use drams_crypto::sha256::Digest;
+use drams_policy::compiled::PreparedPolicySet;
+use drams_policy::pdp::Pdp;
 use drams_policy::policy::PolicySet;
+use std::sync::Arc;
 
 /// One stored policy version.
 #[derive(Debug, Clone)]
@@ -17,6 +26,16 @@ pub struct PolicyVersion {
     pub digest: Digest,
     /// The policy itself.
     pub policy: PolicySet,
+    /// The compiled form, built once at publication.
+    pub prepared: Arc<PreparedPolicySet>,
+}
+
+impl PolicyVersion {
+    /// Builds a PDP serving this version, reusing the compiled form.
+    #[must_use]
+    pub fn pdp(&self) -> Pdp {
+        Pdp::from_prepared(self.policy.clone(), self.prepared.clone())
+    }
 }
 
 /// A versioned policy store.
@@ -29,26 +48,26 @@ impl Prp {
     /// Creates a PRP with an initial policy (version 0).
     #[must_use]
     pub fn new(initial: PolicySet) -> Self {
-        let digest = initial.version_digest();
         Prp {
-            versions: vec![PolicyVersion {
-                number: 0,
-                digest,
-                policy: initial,
-            }],
+            versions: vec![Self::version_entry(0, initial)],
         }
     }
 
     /// Publishes a new policy version; returns its version number.
     pub fn publish(&mut self, policy: PolicySet) -> u64 {
         let number = self.versions.len() as u64;
-        let digest = policy.version_digest();
-        self.versions.push(PolicyVersion {
-            number,
-            digest,
-            policy,
-        });
+        self.versions.push(Self::version_entry(number, policy));
         number
+    }
+
+    fn version_entry(number: u64, policy: PolicySet) -> PolicyVersion {
+        let prepared = Arc::new(PreparedPolicySet::compile(&policy));
+        PolicyVersion {
+            number,
+            digest: prepared.version_digest(),
+            policy,
+            prepared,
+        }
     }
 
     /// The active (latest) version.
@@ -135,5 +154,19 @@ mod tests {
             prp.version(0).unwrap().digest,
             prp.version(2).unwrap().digest
         );
+    }
+
+    #[test]
+    fn versions_are_precompiled_and_serve_pdps() {
+        use drams_policy::attr::Request;
+        let mut prp = Prp::new(policy("v0"));
+        prp.publish(policy("v1"));
+        for v in 0..2 {
+            let version = prp.version(v).unwrap();
+            assert_eq!(version.prepared.version_digest(), version.digest);
+            let pdp = version.pdp();
+            assert_eq!(pdp.policy_version(), version.digest);
+            assert!(pdp.evaluate(&Request::new()).is_permit());
+        }
     }
 }

@@ -106,16 +106,42 @@ pub fn combine<C: Combinable>(
     children: &[C],
     request: &Request,
 ) -> (ExtDecision, Vec<Obligation>) {
+    combine_with(
+        alg,
+        children.len(),
+        &mut |i| children[i].applicability(request),
+        &mut |i| children[i].evaluate(request),
+    )
+}
+
+/// Index-based combining core, generic over the obligation representation.
+///
+/// This is the single implementation of the six algorithms' truth tables.
+/// The tree-walking interpreter instantiates it with owned
+/// [`Obligation`]s; the compiled engine (`crate::compiled`) instantiates
+/// it with borrowed `&Obligation`s over its target-indexed candidate
+/// lists. `applicability(i)`/`evaluate(i)` address the `i`-th child in
+/// document order.
+pub(crate) fn combine_with<Ob, A, E>(
+    alg: CombiningAlg,
+    n: usize,
+    applicability: &mut A,
+    evaluate: &mut E,
+) -> (ExtDecision, Vec<Ob>)
+where
+    A: FnMut(usize) -> MatchResult,
+    E: FnMut(usize) -> (ExtDecision, Vec<Ob>),
+{
     match alg {
-        CombiningAlg::DenyOverrides => overrides(children, request, ExtDecision::Deny),
-        CombiningAlg::PermitOverrides => overrides(children, request, ExtDecision::Permit),
-        CombiningAlg::FirstApplicable => first_applicable(children, request),
-        CombiningAlg::OnlyOneApplicable => only_one_applicable(children, request),
+        CombiningAlg::DenyOverrides => overrides(n, evaluate, ExtDecision::Deny),
+        CombiningAlg::PermitOverrides => overrides(n, evaluate, ExtDecision::Permit),
+        CombiningAlg::FirstApplicable => first_applicable(n, evaluate),
+        CombiningAlg::OnlyOneApplicable => only_one_applicable(n, applicability, evaluate),
         CombiningAlg::DenyUnlessPermit => {
-            unless(children, request, ExtDecision::Permit, ExtDecision::Deny)
+            unless(n, evaluate, ExtDecision::Permit, ExtDecision::Deny)
         }
         CombiningAlg::PermitUnlessDeny => {
-            unless(children, request, ExtDecision::Deny, ExtDecision::Permit)
+            unless(n, evaluate, ExtDecision::Deny, ExtDecision::Permit)
         }
     }
 }
@@ -125,11 +151,11 @@ pub fn combine<C: Combinable>(
 /// `winner` is the overriding decision (Deny for deny-overrides). The
 /// extended-indeterminate table is XACML 3.0 C.2/C.4 with the roles of
 /// D and P swapped for permit-overrides.
-fn overrides<C: Combinable>(
-    children: &[C],
-    request: &Request,
+fn overrides<Ob, E: FnMut(usize) -> (ExtDecision, Vec<Ob>)>(
+    n: usize,
+    evaluate: &mut E,
     winner: ExtDecision,
-) -> (ExtDecision, Vec<Obligation>) {
+) -> (ExtDecision, Vec<Ob>) {
     let loser = match winner {
         ExtDecision::Deny => ExtDecision::Permit,
         _ => ExtDecision::Deny,
@@ -147,8 +173,8 @@ fn overrides<C: Combinable>(
     let mut winner_obligations = Vec::new();
     let mut loser_obligations = Vec::new();
 
-    for child in children {
-        let (d, obs) = child.evaluate(request);
+    for i in 0..n {
+        let (d, obs) = evaluate(i);
         if d == winner {
             saw_winner = true;
             winner_obligations.extend(obs);
@@ -185,12 +211,12 @@ fn overrides<C: Combinable>(
     (ExtDecision::NotApplicable, Vec::new())
 }
 
-fn first_applicable<C: Combinable>(
-    children: &[C],
-    request: &Request,
-) -> (ExtDecision, Vec<Obligation>) {
-    for child in children {
-        let (d, obs) = child.evaluate(request);
+fn first_applicable<Ob, E: FnMut(usize) -> (ExtDecision, Vec<Ob>)>(
+    n: usize,
+    evaluate: &mut E,
+) -> (ExtDecision, Vec<Ob>) {
+    for i in 0..n {
+        let (d, obs) = evaluate(i);
         match d {
             ExtDecision::Permit | ExtDecision::Deny => return (d, obs),
             ExtDecision::NotApplicable => continue,
@@ -200,40 +226,45 @@ fn first_applicable<C: Combinable>(
     (ExtDecision::NotApplicable, Vec::new())
 }
 
-fn only_one_applicable<C: Combinable>(
-    children: &[C],
-    request: &Request,
-) -> (ExtDecision, Vec<Obligation>) {
-    let mut applicable: Option<&C> = None;
-    for child in children {
-        match child.applicability(request) {
+fn only_one_applicable<Ob, A, E>(
+    n: usize,
+    applicability: &mut A,
+    evaluate: &mut E,
+) -> (ExtDecision, Vec<Ob>)
+where
+    A: FnMut(usize) -> MatchResult,
+    E: FnMut(usize) -> (ExtDecision, Vec<Ob>),
+{
+    let mut applicable: Option<usize> = None;
+    for i in 0..n {
+        match applicability(i) {
             MatchResult::Indeterminate => return (ExtDecision::IndeterminateDP, Vec::new()),
             MatchResult::Match => {
                 if applicable.is_some() {
                     return (ExtDecision::IndeterminateDP, Vec::new());
                 }
-                applicable = Some(child);
+                applicable = Some(i);
             }
             MatchResult::NoMatch => {}
         }
     }
     match applicable {
-        Some(child) => child.evaluate(request),
+        Some(i) => evaluate(i),
         None => (ExtDecision::NotApplicable, Vec::new()),
     }
 }
 
 /// deny-unless-permit / permit-unless-deny: `sought` short-circuits,
 /// anything else collapses to `fallback`.
-fn unless<C: Combinable>(
-    children: &[C],
-    request: &Request,
+fn unless<Ob, E: FnMut(usize) -> (ExtDecision, Vec<Ob>)>(
+    n: usize,
+    evaluate: &mut E,
     sought: ExtDecision,
     fallback: ExtDecision,
-) -> (ExtDecision, Vec<Obligation>) {
+) -> (ExtDecision, Vec<Ob>) {
     let mut fallback_obligations = Vec::new();
-    for child in children {
-        let (d, obs) = child.evaluate(request);
+    for i in 0..n {
+        let (d, obs) = evaluate(i);
         if d == sought {
             return (sought, obs);
         }

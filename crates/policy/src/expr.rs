@@ -10,6 +10,7 @@ use crate::attr::{AttributeId, AttributeValue, Request};
 use drams_crypto::codec::{Decode, Encode, Reader, Writer};
 use drams_crypto::CryptoError;
 use serde::{Deserialize, Serialize};
+use std::borrow::Cow;
 use std::fmt;
 
 /// Why an expression failed to evaluate.
@@ -51,24 +52,53 @@ pub enum Evaluated {
     Bag(Vec<AttributeValue>),
 }
 
-impl Evaluated {
+/// Borrow-first evaluation result used internally by both the reference
+/// interpreter and the compiled engine: literals and request bags are
+/// *borrowed*, and owned values are materialised only for computed
+/// function results. The public [`Evaluated`] is produced once, at the
+/// top of [`Expr::eval`], instead of cloning at every node visit.
+#[derive(Debug)]
+pub(crate) enum ValueView<'a> {
+    /// A single value (borrowed literal or owned function result).
+    One(Cow<'a, AttributeValue>),
+    /// A bag borrowed straight from the request.
+    Bag(&'a [AttributeValue]),
+}
+
+impl<'a> ValueView<'a> {
     /// Collapses to a single value: singleton bags auto-coerce.
-    fn single(self, function: &str) -> Result<AttributeValue, EvalError> {
+    pub(crate) fn single(self, function: &str) -> Result<Cow<'a, AttributeValue>, EvalError> {
         match self {
-            Evaluated::One(v) => Ok(v),
-            Evaluated::Bag(mut bag) if bag.len() == 1 => Ok(bag.remove(0)),
-            Evaluated::Bag(bag) => Err(EvalError::TypeMismatch {
+            ValueView::One(v) => Ok(v),
+            ValueView::Bag(bag) if bag.len() == 1 => Ok(Cow::Borrowed(&bag[0])),
+            ValueView::Bag(bag) => Err(EvalError::TypeMismatch {
                 function: function.to_string(),
                 detail: format!("expected a single value, got a bag of {}", bag.len()),
             }),
         }
     }
 
-    /// Views as a bag (single values become singleton bags).
-    fn into_bag(self) -> Vec<AttributeValue> {
+    /// Bag cardinality (single values count as singleton bags).
+    fn bag_len(&self) -> usize {
         match self {
-            Evaluated::One(v) => vec![v],
-            Evaluated::Bag(bag) => bag,
+            ValueView::One(_) => 1,
+            ValueView::Bag(bag) => bag.len(),
+        }
+    }
+
+    /// Membership test against the bag view (single values are singleton
+    /// bags).
+    fn contains(&self, needle: &AttributeValue) -> bool {
+        match self {
+            ValueView::One(v) => v.as_ref() == needle,
+            ValueView::Bag(bag) => bag.contains(needle),
+        }
+    }
+
+    fn into_evaluated(self) -> Evaluated {
+        match self {
+            ValueView::One(v) => Evaluated::One(v.into_owned()),
+            ValueView::Bag(bag) => Evaluated::Bag(bag.to_vec()),
         }
     }
 }
@@ -250,17 +280,34 @@ impl Expr {
     /// Returns [`EvalError`] for missing attributes, type mismatches or
     /// division by zero — policy evaluation maps these to `Indeterminate`.
     pub fn eval(&self, request: &Request) -> Result<Evaluated, EvalError> {
+        Ok(self.eval_view(request)?.into_evaluated())
+    }
+
+    /// Borrow-first evaluation: no literal or bag is cloned on the way
+    /// down; owned values exist only for computed function results.
+    pub(crate) fn eval_view<'a>(
+        &'a self,
+        request: &'a Request,
+    ) -> Result<ValueView<'a>, EvalError> {
         match self {
-            Expr::Lit(v) => Ok(Evaluated::One(v.clone())),
+            Expr::Lit(v) => Ok(ValueView::One(Cow::Borrowed(v))),
             Expr::Attr(id) => {
                 let bag = request.bag_by_id(id);
                 if bag.is_empty() {
                     Err(EvalError::MissingAttribute(id.clone()))
                 } else {
-                    Ok(Evaluated::Bag(bag.to_vec()))
+                    Ok(ValueView::Bag(bag))
                 }
             }
-            Expr::Apply(func, args) => apply(*func, args, request),
+            Expr::Apply(func, args) => apply_func(
+                *func,
+                args.len(),
+                &mut |i| args[i].eval_view(request),
+                &mut |i| match &args[i] {
+                    Expr::Attr(id) => Some(request.bag_by_id(id).len()),
+                    _ => None,
+                },
+            ),
         }
     }
 
@@ -271,13 +318,7 @@ impl Expr {
     /// As [`Expr::eval`], plus a type mismatch when the result is not
     /// boolean.
     pub fn eval_bool(&self, request: &Request) -> Result<bool, EvalError> {
-        match self.eval(request)?.single("condition")? {
-            AttributeValue::Bool(b) => Ok(b),
-            other => Err(EvalError::TypeMismatch {
-                function: "condition".to_string(),
-                detail: format!("expected bool, got {}", other.type_name()),
-            }),
-        }
+        bool_result(self.eval_view(request)?)
     }
 
     /// All attribute ids referenced by this expression.
@@ -339,41 +380,66 @@ fn arity_error(func: Func, expected: &str, got: usize) -> EvalError {
     }
 }
 
-fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, EvalError> {
+/// Coerces an evaluated view to the boolean shape conditions need.
+pub(crate) fn bool_result(view: ValueView<'_>) -> Result<bool, EvalError> {
+    match view.single("condition")?.as_ref() {
+        AttributeValue::Bool(b) => Ok(*b),
+        other => Err(EvalError::TypeMismatch {
+            function: "condition".to_string(),
+            detail: format!("expected bool, got {}", other.type_name()),
+        }),
+    }
+}
+
+/// Applies a built-in function over lazily-evaluated arguments.
+///
+/// This is the single source of truth for function semantics, shared by
+/// the tree-walking reference interpreter and the compiled engine
+/// (`crate::compiled`): `eval_arg(i)` evaluates the `i`-th argument on
+/// demand, and `attr_bag_len(i)` reports the request bag length when the
+/// `i`-th argument is a bare attribute designator (the `size()` special
+/// case, which must not error on missing attributes).
+pub(crate) fn apply_func<'a, E, L>(
+    func: Func,
+    argc: usize,
+    eval_arg: &mut E,
+    attr_bag_len: &mut L,
+) -> Result<ValueView<'a>, EvalError>
+where
+    E: FnMut(usize) -> Result<ValueView<'a>, EvalError>,
+    L: FnMut(usize) -> Option<usize>,
+{
     use AttributeValue as V;
+    let one = |v: V| Ok(ValueView::One(Cow::Owned(v)));
     match func {
         Func::Equal | Func::NotEqual => {
-            if args.len() != 2 {
-                return Err(arity_error(func, "2", args.len()));
+            if argc != 2 {
+                return Err(arity_error(func, "2", argc));
             }
-            let a = args[0].eval(request)?.single(func.name())?;
-            let b = args[1].eval(request)?.single(func.name())?;
-            let eq = a == b;
-            Ok(Evaluated::One(V::Bool(if func == Func::Equal {
-                eq
-            } else {
-                !eq
-            })))
+            let a = eval_arg(0)?.single(func.name())?;
+            let b = eval_arg(1)?.single(func.name())?;
+            let eq = a.as_ref() == b.as_ref();
+            one(V::Bool(if func == Func::Equal { eq } else { !eq }))
         }
         Func::Less | Func::LessEq | Func::Greater | Func::GreaterEq => {
-            if args.len() != 2 {
-                return Err(arity_error(func, "2", args.len()));
+            if argc != 2 {
+                return Err(arity_error(func, "2", argc));
             }
-            let a = args[0].eval(request)?.single(func.name())?;
-            let b = args[1].eval(request)?.single(func.name())?;
-            let ord = compare(func, &a, &b)?;
-            Ok(Evaluated::One(V::Bool(ord)))
+            let a = eval_arg(0)?.single(func.name())?;
+            let b = eval_arg(1)?.single(func.name())?;
+            let ord = compare(func, a.as_ref(), b.as_ref())?;
+            one(V::Bool(ord))
         }
         Func::In => {
-            if args.len() != 2 {
-                return Err(arity_error(func, "2", args.len()));
+            if argc != 2 {
+                return Err(arity_error(func, "2", argc));
             }
-            let needle = args[0].eval(request)?.single(func.name())?;
-            let bag = args[1].eval(request)?.into_bag();
-            Ok(Evaluated::One(V::Bool(bag.contains(&needle))))
+            let needle = eval_arg(0)?.single(func.name())?;
+            let bag = eval_arg(1)?;
+            one(V::Bool(bag.contains(needle.as_ref())))
         }
         Func::And | Func::Or => {
-            if args.is_empty() {
+            if argc == 0 {
                 return Err(arity_error(func, "≥1", 0));
             }
             // Three-valued logic: a dominant operand (false for and, true
@@ -381,32 +447,30 @@ fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, Eval
             // other operands; otherwise errors propagate.
             let dominant = func == Func::Or;
             let mut saw_error: Option<EvalError> = None;
-            for arg in args {
-                match arg
-                    .eval(request)
-                    .and_then(|v| match v.single(func.name())? {
-                        V::Bool(b) => Ok(b),
-                        other => Err(EvalError::TypeMismatch {
-                            function: func.name().to_string(),
-                            detail: format!("expected bool operand, got {}", other.type_name()),
-                        }),
-                    }) {
-                    Ok(b) if b == dominant => return Ok(Evaluated::One(V::Bool(dominant))),
+            for i in 0..argc {
+                match eval_arg(i).and_then(|v| match v.single(func.name())?.as_ref() {
+                    V::Bool(b) => Ok(*b),
+                    other => Err(EvalError::TypeMismatch {
+                        function: func.name().to_string(),
+                        detail: format!("expected bool operand, got {}", other.type_name()),
+                    }),
+                }) {
+                    Ok(b) if b == dominant => return one(V::Bool(dominant)),
                     Ok(_) => {}
                     Err(e) => saw_error = Some(saw_error.unwrap_or(e)),
                 }
             }
             match saw_error {
                 Some(e) => Err(e),
-                None => Ok(Evaluated::One(V::Bool(!dominant))),
+                None => one(V::Bool(!dominant)),
             }
         }
         Func::Not => {
-            if args.len() != 1 {
-                return Err(arity_error(func, "1", args.len()));
+            if argc != 1 {
+                return Err(arity_error(func, "1", argc));
             }
-            match args[0].eval(request)?.single(func.name())? {
-                V::Bool(b) => Ok(Evaluated::One(V::Bool(!b))),
+            match eval_arg(0)?.single(func.name())?.as_ref() {
+                V::Bool(b) => one(V::Bool(!b)),
                 other => Err(EvalError::TypeMismatch {
                     function: "not".to_string(),
                     detail: format!("expected bool, got {}", other.type_name()),
@@ -414,27 +478,27 @@ fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, Eval
             }
         }
         Func::Add | Func::Sub | Func::Mul | Func::Div => {
-            if args.len() != 2 {
-                return Err(arity_error(func, "2", args.len()));
+            if argc != 2 {
+                return Err(arity_error(func, "2", argc));
             }
-            let a = args[0].eval(request)?.single(func.name())?;
-            let b = args[1].eval(request)?.single(func.name())?;
-            arithmetic(func, &a, &b)
+            let a = eval_arg(0)?.single(func.name())?;
+            let b = eval_arg(1)?.single(func.name())?;
+            one(arithmetic(func, a.as_ref(), b.as_ref())?)
         }
         Func::StartsWith | Func::Contains => {
-            if args.len() != 2 {
-                return Err(arity_error(func, "2", args.len()));
+            if argc != 2 {
+                return Err(arity_error(func, "2", argc));
             }
-            let a = args[0].eval(request)?.single(func.name())?;
-            let b = args[1].eval(request)?.single(func.name())?;
-            match (&a, &b) {
+            let a = eval_arg(0)?.single(func.name())?;
+            let b = eval_arg(1)?.single(func.name())?;
+            match (a.as_ref(), b.as_ref()) {
                 (V::Str(hay), V::Str(needle)) => {
                     let result = if func == Func::StartsWith {
                         hay.starts_with(needle.as_str())
                     } else {
                         hay.contains(needle.as_str())
                     };
-                    Ok(Evaluated::One(V::Bool(result)))
+                    one(V::Bool(result))
                 }
                 _ => Err(EvalError::TypeMismatch {
                     function: func.name().to_string(),
@@ -447,21 +511,25 @@ fn apply(func: Func, args: &[Expr], request: &Request) -> Result<Evaluated, Eval
             }
         }
         Func::Size => {
-            if args.len() != 1 {
-                return Err(arity_error(func, "1", args.len()));
+            if argc != 1 {
+                return Err(arity_error(func, "1", argc));
             }
             // size() of a missing attribute is 0, not an error — this lets
             // policies test for attribute presence.
-            let n = match &args[0] {
-                Expr::Attr(id) => request.bag_by_id(id).len(),
-                other => other.eval(request)?.into_bag().len(),
+            let n = match attr_bag_len(0) {
+                Some(n) => n,
+                None => eval_arg(0)?.bag_len(),
             };
-            Ok(Evaluated::One(V::Int(n as i64)))
+            one(V::Int(n as i64))
         }
     }
 }
 
-fn compare(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<bool, EvalError> {
+pub(crate) fn compare(
+    func: Func,
+    a: &AttributeValue,
+    b: &AttributeValue,
+) -> Result<bool, EvalError> {
     use std::cmp::Ordering;
     use AttributeValue as V;
     let ord = match (a, b) {
@@ -488,7 +556,11 @@ fn compare(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<bool, E
     })
 }
 
-fn arithmetic(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<Evaluated, EvalError> {
+pub(crate) fn arithmetic(
+    func: Func,
+    a: &AttributeValue,
+    b: &AttributeValue,
+) -> Result<AttributeValue, EvalError> {
     use AttributeValue as V;
     // Int op Int stays Int (except division, which promotes); otherwise Double.
     match (a, b) {
@@ -499,7 +571,7 @@ fn arithmetic(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<Eval
                 Func::Mul => x.wrapping_mul(*y),
                 _ => unreachable!(),
             };
-            Ok(Evaluated::One(V::Int(r)))
+            Ok(V::Int(r))
         }
         _ => {
             let (x, y) = match (a.as_f64(), b.as_f64()) {
@@ -525,7 +597,7 @@ fn arithmetic(func: Func, a: &AttributeValue, b: &AttributeValue) -> Result<Eval
                 Func::Div => x / y,
                 _ => unreachable!(),
             };
-            Ok(Evaluated::One(V::Double(r)))
+            Ok(V::Double(r))
         }
     }
 }

@@ -19,7 +19,13 @@
 //! * [`combining`] — the six XACML 3.0 combining algorithms with extended
 //!   `Indeterminate` semantics.
 //! * [`decision`] — decisions, obligations, responses.
-//! * [`pdp`] — the Policy Decision Point.
+//! * [`compiled`] — the compiled engine: interned attributes, arena
+//!   expressions, prepared requests and target-indexed policy sets. The
+//!   tree-walking evaluators above remain the reference semantics; the
+//!   compiled engine is property-tested equivalent and is what the PDP
+//!   and the Analyser actually run.
+//! * [`pdp`] — the Policy Decision Point (compiled engine + decision
+//!   cache).
 //! * [`parser`] — a FACPL-like text syntax plus pretty-printer.
 //!
 //! # Example
@@ -45,6 +51,7 @@
 
 pub mod attr;
 pub mod combining;
+pub mod compiled;
 pub mod decision;
 pub mod expr;
 pub mod parser;
@@ -58,6 +65,7 @@ pub mod target;
 pub mod prelude {
     pub use crate::attr::{AttributeId, AttributeValue, Category, Request, RequestBuilder};
     pub use crate::combining::CombiningAlg;
+    pub use crate::compiled::PreparedPolicySet;
     pub use crate::decision::{Decision, Effect, ExtDecision, Obligation, Response};
     pub use crate::expr::{Expr, Func};
     pub use crate::pdp::Pdp;

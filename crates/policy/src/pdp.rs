@@ -4,12 +4,38 @@
 //! infrastructure tenant: PEPs forward intercepted requests here, the PDP
 //! evaluates them against the policy in force and returns the decision the
 //! PEP then enforces.
+//!
+//! Since the compiled-engine rework the PDP evaluates through a
+//! [`PreparedPolicySet`] (interned attributes, arena expressions, target
+//! index) and memoises responses in a **decision cache** keyed by the
+//! request's canonical digest — sound because evaluation is a pure
+//! function of `(policy version, request)`, and the cache is dropped
+//! whenever the policy in force changes. The original tree-walking
+//! interpreter stays available as [`Pdp::evaluate_interpreted`], the
+//! reference oracle the benches and property tests compare against.
 
 use crate::attr::Request;
+use crate::compiled::PreparedPolicySet;
 use crate::decision::Response;
 use crate::policy::PolicySet;
+use drams_crypto::codec::Encode;
 use drams_crypto::sha256::Digest;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Default decision-cache capacity (responses). See
+/// [`Pdp::with_cache_capacity`] to tune or disable.
+pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
+
+/// Memoised responses keyed by request digest, valid for exactly one
+/// policy version.
+#[derive(Debug, Default)]
+struct DecisionCache {
+    map: RwLock<HashMap<Digest, Response>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
 
 /// A Policy Decision Point bound to one root policy set.
 ///
@@ -33,19 +59,60 @@ use std::sync::atomic::{AtomicU64, Ordering};
 #[derive(Debug)]
 pub struct Pdp {
     root: PolicySet,
+    prepared: Arc<PreparedPolicySet>,
     version: Digest,
     evaluations: AtomicU64,
+    cache_capacity: usize,
+    cache: DecisionCache,
 }
 
 impl Pdp {
-    /// Creates a PDP for a root policy set.
+    /// Creates a PDP for a root policy set, compiling it and enabling
+    /// the decision cache at [`DEFAULT_CACHE_CAPACITY`].
     #[must_use]
     pub fn new(root: PolicySet) -> Self {
-        let version = root.version_digest();
+        Pdp::with_cache_capacity(root, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Creates a PDP with an explicit decision-cache capacity.
+    /// `capacity == 0` disables caching (every request re-evaluates).
+    #[must_use]
+    pub fn with_cache_capacity(root: PolicySet, capacity: usize) -> Self {
+        let prepared = Arc::new(PreparedPolicySet::compile(&root));
+        Pdp::assemble(root, prepared, capacity)
+    }
+
+    /// Creates a PDP from an already-compiled policy (e.g. the PRP
+    /// pre-compiles every published version, so activating one does not
+    /// stall the decision path on recompilation).
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, panics when `prepared` was not compiled from
+    /// `root` (version digest mismatch) — mixing the two would make the
+    /// interpreted oracle diverge from the compiled engine. The check
+    /// re-encodes and hashes the whole policy set, so release builds
+    /// skip it and trust the caller (the PRP compiles at publication,
+    /// so the pair is constructed in one place).
+    #[must_use]
+    pub fn from_prepared(root: PolicySet, prepared: Arc<PreparedPolicySet>) -> Self {
+        debug_assert_eq!(
+            root.version_digest(),
+            prepared.version_digest(),
+            "prepared policy does not match the source policy set"
+        );
+        Pdp::assemble(root, prepared, DEFAULT_CACHE_CAPACITY)
+    }
+
+    fn assemble(root: PolicySet, prepared: Arc<PreparedPolicySet>, capacity: usize) -> Self {
+        let version = prepared.version_digest();
         Pdp {
             root,
+            prepared,
             version,
             evaluations: AtomicU64::new(0),
+            cache_capacity: capacity,
+            cache: DecisionCache::default(),
         }
     }
 
@@ -55,21 +122,61 @@ impl Pdp {
         &self.root
     }
 
+    /// The compiled form of the policy in force.
+    #[must_use]
+    pub fn prepared(&self) -> &Arc<PreparedPolicySet> {
+        &self.prepared
+    }
+
     /// Digest identifying the policy version in force.
     #[must_use]
     pub fn policy_version(&self) -> Digest {
         self.version
     }
 
-    /// Replaces the policy in force (policy administration).
+    /// Replaces the policy in force (policy administration). Recompiles
+    /// and drops the decision cache — cached responses belong to the old
+    /// version.
     pub fn set_root(&mut self, root: PolicySet) {
-        self.version = root.version_digest();
+        self.prepared = Arc::new(PreparedPolicySet::compile(&root));
+        self.version = self.prepared.version_digest();
         self.root = root;
+        self.cache = DecisionCache::default();
     }
 
-    /// Evaluates a request and returns the full response.
+    /// Evaluates a request and returns the full response (compiled
+    /// engine, decision cache).
     #[must_use]
     pub fn evaluate(&self, request: &Request) -> Response {
+        self.evaluations.fetch_add(1, Ordering::Relaxed);
+        if self.cache_capacity == 0 {
+            let (extended, obligations) = self.prepared.evaluate(request);
+            return Response::new(extended, obligations);
+        }
+        let digest = request.canonical_digest();
+        if let Some(hit) = self.cache.map.read().expect("cache lock").get(&digest) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let (extended, obligations) = self.prepared.evaluate(request);
+        let response = Response::new(extended, obligations);
+        let mut map = self.cache.map.write().expect("cache lock");
+        if map.len() >= self.cache_capacity {
+            // Wholesale eviction keeps the cache allocation-free on the
+            // hot path; a full cycle is rare at the default capacity.
+            map.clear();
+        }
+        map.insert(digest, response.clone());
+        drop(map);
+        response
+    }
+
+    /// Evaluates through the tree-walking reference interpreter —
+    /// uncached, unindexed. This is the oracle the compiled engine is
+    /// benchmarked and property-tested against.
+    #[must_use]
+    pub fn evaluate_interpreted(&self, request: &Request) -> Response {
         self.evaluations.fetch_add(1, Ordering::Relaxed);
         let (extended, obligations) = self.root.evaluate(request);
         Response::new(extended, obligations)
@@ -80,15 +187,28 @@ impl Pdp {
     pub fn evaluation_count(&self) -> u64 {
         self.evaluations.load(Ordering::Relaxed)
     }
+
+    /// `(hits, misses)` of the decision cache since the last policy
+    /// change.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        (
+            self.cache.hits.load(Ordering::Relaxed),
+            self.cache.misses.load(Ordering::Relaxed),
+        )
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::attr::{AttributeId, Category};
     use crate::combining::CombiningAlg;
     use crate::decision::{Decision, Effect};
+    use crate::expr::Expr;
     use crate::policy::Policy;
     use crate::rule::Rule;
+    use crate::target::Target;
 
     fn pdp() -> Pdp {
         let root = PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)
@@ -99,6 +219,24 @@ mod tests {
             )
             .build();
         Pdp::new(root)
+    }
+
+    fn role_pdp(capacity: usize) -> Pdp {
+        let root = PolicySet::builder("root", CombiningAlg::DenyUnlessPermit)
+            .policy(
+                Policy::builder("p", CombiningAlg::PermitOverrides)
+                    .rule(
+                        Rule::builder("doctors", Effect::Permit)
+                            .target(Target::expr(Expr::equal(
+                                Expr::attr(AttributeId::new(Category::Subject, "role")),
+                                Expr::lit("doctor"),
+                            )))
+                            .build(),
+                    )
+                    .build(),
+            )
+            .build();
+        Pdp::with_cache_capacity(root, capacity)
     }
 
     #[test]
@@ -122,6 +260,80 @@ mod tests {
             pdp.evaluate(&Request::new()).decision,
             Decision::NotApplicable
         );
+    }
+
+    #[test]
+    fn compiled_agrees_with_interpreter() {
+        let pdp = role_pdp(0);
+        for request in [
+            Request::builder().subject("role", "doctor").build(),
+            Request::builder().subject("role", "nurse").build(),
+            Request::new(),
+        ] {
+            assert_eq!(pdp.evaluate(&request), pdp.evaluate_interpreted(&request));
+        }
+    }
+
+    #[test]
+    fn decision_cache_hits_on_repeats() {
+        let pdp = role_pdp(DEFAULT_CACHE_CAPACITY);
+        let request = Request::builder().subject("role", "doctor").build();
+        let first = pdp.evaluate(&request);
+        let second = pdp.evaluate(&request);
+        assert_eq!(first, second);
+        assert_eq!(pdp.cache_stats(), (1, 1));
+        // A different request misses.
+        let _ = pdp.evaluate(&Request::builder().subject("role", "nurse").build());
+        assert_eq!(pdp.cache_stats(), (1, 2));
+    }
+
+    #[test]
+    fn cache_is_dropped_on_policy_change() {
+        let mut pdp = role_pdp(DEFAULT_CACHE_CAPACITY);
+        let request = Request::builder().subject("role", "doctor").build();
+        assert_eq!(pdp.evaluate(&request).decision, Decision::Permit);
+        // Swap in a policy that denies everyone; the cached Permit must
+        // not survive.
+        pdp.set_root(PolicySet::builder("root2", CombiningAlg::DenyUnlessPermit).build());
+        assert_eq!(pdp.evaluate(&request).decision, Decision::Deny);
+        assert_eq!(pdp.cache_stats(), (0, 1));
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let pdp = role_pdp(0);
+        let request = Request::builder().subject("role", "doctor").build();
+        let _ = pdp.evaluate(&request);
+        let _ = pdp.evaluate(&request);
+        assert_eq!(pdp.cache_stats(), (0, 0));
+    }
+
+    #[test]
+    fn tiny_cache_evicts_and_stays_correct() {
+        let pdp = role_pdp(1);
+        let doctor = Request::builder().subject("role", "doctor").build();
+        let nurse = Request::builder().subject("role", "nurse").build();
+        for _ in 0..3 {
+            assert_eq!(pdp.evaluate(&doctor).decision, Decision::Permit);
+            assert_eq!(pdp.evaluate(&nurse).decision, Decision::Deny);
+        }
+    }
+
+    #[test]
+    fn from_prepared_reuses_compilation() {
+        let root = pdp().root().clone();
+        let prepared = Arc::new(PreparedPolicySet::compile(&root));
+        let pdp = Pdp::from_prepared(root, prepared.clone());
+        assert_eq!(pdp.policy_version(), prepared.version_digest());
+        assert!(pdp.evaluate(&Request::new()).is_permit());
+    }
+
+    #[test]
+    #[should_panic(expected = "prepared policy does not match")]
+    fn from_prepared_rejects_mismatch() {
+        let root = pdp().root().clone();
+        let other = PolicySet::builder("other", CombiningAlg::DenyOverrides).build();
+        let _ = Pdp::from_prepared(root, Arc::new(PreparedPolicySet::compile(&other)));
     }
 
     #[test]

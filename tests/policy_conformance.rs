@@ -61,6 +61,29 @@ fn symbolic_witnesses_replay_on_concrete_engine() {
 }
 
 #[test]
+fn compiled_engine_matches_interpreter_on_workload_fragment() {
+    // The PDP serves the compiled engine; the seeds here cover the exact
+    // policy shapes E5 benchmarks, across all root algorithms.
+    use drams::policy::compiled::PreparedPolicySet;
+    for (i, shape) in shapes().into_iter().enumerate() {
+        for seed in 0..4u64 {
+            let mut pgen = PolicyGenerator::new(Vocabulary::default(), seed * 131 + i as u64);
+            let set = pgen.next_policy_set(&shape);
+            let prepared = PreparedPolicySet::compile(&set);
+            let mut rgen = RequestGenerator::new(Vocabulary::default(), 1.0, seed ^ 0xbeef);
+            for _ in 0..25 {
+                let request = rgen.next_request();
+                assert_eq!(
+                    set.evaluate(&request),
+                    prepared.evaluate(&request),
+                    "shape {i}, seed {seed}, request {request:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn policies_are_equivalent_to_themselves_and_not_to_mutants() {
     let mut gen = PolicyGenerator::new(Vocabulary::default(), 77);
     let set = gen.next_policy_set(&PolicyShape::default());
