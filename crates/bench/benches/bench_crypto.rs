@@ -4,9 +4,11 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use drams_crypto::aead::{open, seal, SymmetricKey};
+use drams_crypto::bignum::U256;
 use drams_crypto::hmac::hmac_sha256;
 use drams_crypto::merkle::MerkleTree;
-use drams_crypto::schnorr::Keypair;
+use drams_crypto::montgomery::MontCtx;
+use drams_crypto::schnorr::{batch_verify, group_p, Keypair};
 use drams_crypto::sha256::Digest;
 
 fn bench_sha256(c: &mut Criterion) {
@@ -58,15 +60,53 @@ fn bench_merkle(c: &mut Criterion) {
     });
 }
 
+fn bench_mod_pow(c: &mut Criterion) {
+    // Old (Algorithm D division per multiply) vs new (Montgomery REDC,
+    // fixed-window) — the multiplier under every signature operation.
+    let p = group_p();
+    let base = U256::from_hex("1e2feb89414c343c1027c4d1c386bbc4cd613e30d8f16adf91b7584a2265b1f5");
+    let exp = U256::from_hex("35bf992dc9e9c616612e7696a6cecc1b78e510617311d8a3c2ce6f447ed4d57b");
+    c.bench_function("mod_pow/knuth-reference", |b| {
+        b.iter(|| base.mod_pow(&exp, &p));
+    });
+    let ctx = MontCtx::new(p);
+    c.bench_function("mod_pow/montgomery", |b| {
+        b.iter(|| ctx.pow(&base, &exp));
+    });
+}
+
 fn bench_schnorr(c: &mut Criterion) {
     let kp = Keypair::from_seed(b"bench");
     let msg = b"a log entry submission";
     c.bench_function("schnorr/sign", |b| {
         b.iter(|| kp.sign(msg));
     });
+    c.bench_function("schnorr/sign-reference", |b| {
+        b.iter(|| kp.secret().sign_reference(msg));
+    });
     let sig = kp.sign(msg);
     c.bench_function("schnorr/verify", |b| {
         b.iter(|| kp.public().verify(msg, &sig).unwrap());
+    });
+    c.bench_function("schnorr/verify-reference", |b| {
+        b.iter(|| kp.public().verify_reference(msg, &sig).unwrap());
+    });
+}
+
+fn bench_batch_verify(c: &mut Criterion) {
+    // A block's worth of LI submissions: 64 signatures, 4 identities —
+    // the same shared fixture experiment E9 measures.
+    let owned = drams_bench::schnorr_batch(4, 64);
+    let batch = drams_bench::batch_items(&owned);
+    c.bench_function("schnorr/batch-verify-64", |b| {
+        b.iter(|| batch_verify(&batch).unwrap());
+    });
+    c.bench_function("schnorr/individual-verify-64", |b| {
+        b.iter(|| {
+            for (pk, m, s) in &batch {
+                pk.verify(m, s).unwrap();
+            }
+        });
     });
 }
 
@@ -76,6 +116,8 @@ criterion_group!(
     bench_hmac,
     bench_aead,
     bench_merkle,
-    bench_schnorr
+    bench_mod_pow,
+    bench_schnorr,
+    bench_batch_verify
 );
 criterion_main!(benches);

@@ -1,17 +1,21 @@
 //! Regenerates every experiment table of the DRAMS reproduction
 //! (EXPERIMENTS.md / DESIGN.md §3).
 //!
-//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e8|all] [--quick]`
+//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e9|all] [--quick]`
 //!
 //! Run with `--release`: E1/E2 perform real proof-of-work hashing.
 //!
 //! `e5` and `e6` additionally write the machine-readable PDP perf
 //! trajectory to `BENCH_PDP.json` at the repo root (µs/decision per
 //! policy-base size, interpreter vs compiled engine; monitoring
-//! overhead). `--quick` shrinks the sweeps to CI-smoke size — the JSON
-//! records which mode produced it.
+//! overhead), and `e9` writes the crypto-substrate trajectory to
+//! `BENCH_CRYPTO.json` (Montgomery fast path vs the Algorithm D
+//! reference; batch vs individual Schnorr verification). `--quick`
+//! shrinks the sweeps to CI-smoke size — the JSON records which mode
+//! produced it.
 
 use drams_attack::{score, ScriptedAdversary, ThreatKind};
+use drams_bench::crypto_trajectory::{self, CryptoSummary, OldNew};
 use drams_bench::log_entry_of_size;
 use drams_bench::trajectory::{
     render_json, repo_root_path, LatencySummary, MonitoringOverhead, PdpScalingRow,
@@ -62,6 +66,7 @@ fn main() {
     if want("e8") {
         e8_ablations();
     }
+    let e9_summary = want("e9").then(|| e9_crypto_substrate(quick));
 
     // The tracked perf trajectory: whenever E5 and/or E6 ran, rewrite
     // BENCH_PDP.json at the repo root so the diff shows what moved. A
@@ -81,6 +86,20 @@ fn main() {
             Err(e) => {
                 // Exit non-zero so CI's perf-smoke step cannot pass
                 // against a stale committed file.
+                eprintln!("\nfailed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+
+    // The crypto-substrate trajectory: same carry-forward contract.
+    if let Some(summary) = e9_summary {
+        let path = crypto_trajectory::repo_path();
+        let previous = std::fs::read_to_string(&path).ok();
+        let json = crypto_trajectory::render_json(quick, Some(&summary), previous.as_deref());
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote crypto trajectory to {}", path.display()),
+            Err(e) => {
                 eprintln!("\nfailed to write {}: {e}", path.display());
                 std::process::exit(1);
             }
@@ -476,8 +495,12 @@ fn e6_monitoring_overhead(quick: bool) -> MonitoringOverhead {
         analyser_enabled: false,
         ..base.clone()
     };
+    let wall = Instant::now();
     let (mut r_off, _) = run_monitor(&off, &mut NoAdversary);
+    let off_wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+    let wall = Instant::now();
     let (mut r_on, _) = run_monitor(&base, &mut NoAdversary);
+    let on_wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
     println!(
         "{:>12} {:>14} {:>14} {:>14} {:>12}",
         "monitoring", "mean ms", "p95 ms", "p99 ms", "chain txs"
@@ -513,6 +536,8 @@ fn e6_monitoring_overhead(quick: bool) -> MonitoringOverhead {
             chain_txs: r_on.txs_committed,
         },
         pipeline_mean_ms: r_on.log_commit_latency.mean() / 1_000.0,
+        off_wall_ms,
+        on_wall_ms,
     };
     println!(
         "\ncritical-path overhead: {:+.2}% (asynchronous probes);",
@@ -521,6 +546,10 @@ fn e6_monitoring_overhead(quick: bool) -> MonitoringOverhead {
     println!(
         "monitoring pipeline latency (observation → commit): {:.1} ms mean",
         summary.pipeline_mean_ms
+    );
+    println!(
+        "wall clock: {:.0} ms off, {:.0} ms on (crypto cost of the pipeline)",
+        summary.off_wall_ms, summary.on_wall_ms
     );
     summary
 }
@@ -553,6 +582,144 @@ fn e7_federation_scalability() {
     }
     println!("\nshape: the pipeline keeps up as tenants grow — per-tenant LIs");
     println!("fan in to the chain, whose block capacity is the shared bottleneck.");
+}
+
+/// E9 — the crypto substrate: Montgomery fast path vs the retained
+/// Algorithm D reference, and batch vs individual Schnorr verification.
+///
+/// The monitoring pipeline's cost is bounded by log hashing/signing
+/// (paper §III); this table tracks the primitive layer the pipeline
+/// stands on. Emits `BENCH_CRYPTO.json`.
+fn e9_crypto_substrate(quick: bool) -> CryptoSummary {
+    use drams_crypto::bignum::U256;
+    use drams_crypto::montgomery;
+    use drams_crypto::schnorr::{batch_verify, group_p};
+
+    header(
+        "E9",
+        "crypto substrate: Algorithm D reference vs Montgomery fast path",
+    );
+
+    let iters = if quick { 8 } else { 64 };
+    // Min-of-rounds, as in E5: robust against CPU contention on a
+    // shared machine, which single-pass timing is not.
+    let rounds = if quick { 2 } else { 5 };
+    let time_us = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            best = best.min(start.elapsed().as_secs_f64() * 1e6 / f64::from(iters));
+        }
+        best
+    };
+
+    // mod_pow over the real group modulus with full-width exponents.
+    let p = group_p();
+    let base = U256::from_hex("1e2feb89414c343c1027c4d1c386bbc4cd613e30d8f16adf91b7584a2265b1f5");
+    let exp = U256::from_hex("35bf992dc9e9c616612e7696a6cecc1b78e510617311d8a3c2ce6f447ed4d57b");
+    let mont_p = drams_crypto::montgomery::MontCtx::new(p);
+    let mod_pow = OldNew {
+        reference_us: time_us(&mut || {
+            std::hint::black_box(base.mod_pow(&exp, &p));
+        }),
+        fast_us: time_us(&mut || {
+            std::hint::black_box(mont_p.pow(&base, &exp));
+        }),
+    };
+    // Sanity: the two paths agree (also property-tested in drams-crypto).
+    assert_eq!(montgomery::mod_pow(&base, &exp, &p), base.mod_pow(&exp, &p));
+
+    let kp = Keypair::from_seed(b"e9-crypto");
+    let msg = b"a log entry submission";
+    let sign = OldNew {
+        reference_us: time_us(&mut || {
+            std::hint::black_box(kp.secret().sign_reference(msg));
+        }),
+        fast_us: time_us(&mut || {
+            std::hint::black_box(kp.sign(msg));
+        }),
+    };
+    let sig = kp.sign(msg);
+    let verify = OldNew {
+        reference_us: time_us(&mut || {
+            kp.public().verify_reference(msg, &sig).expect("valid");
+        }),
+        fast_us: time_us(&mut || {
+            kp.public().verify(msg, &sig).expect("valid");
+        }),
+    };
+
+    // Batch verification over the shared fixture (the same workload
+    // bench_crypto's batch targets measure).
+    let batch_size = 64usize;
+    let owned = drams_bench::schnorr_batch(4, batch_size);
+    let batch = drams_bench::batch_items(&owned);
+    let batch_rounds = if quick { 2 } else { 8 };
+    let round_us = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..batch_rounds {
+            let start = Instant::now();
+            f();
+            best = best.min(start.elapsed().as_secs_f64() * 1e6);
+        }
+        best
+    };
+    let individual_reference_us = round_us(&mut || {
+        for (pk, m, s) in &batch {
+            pk.verify_reference(m, s).expect("valid");
+        }
+    });
+    let individual_fast_us = round_us(&mut || {
+        for (pk, m, s) in &batch {
+            pk.verify(m, s).expect("valid");
+        }
+    });
+    let batch_us = round_us(&mut || {
+        batch_verify(&batch).expect("valid batch");
+    });
+
+    let summary = CryptoSummary {
+        mod_pow,
+        sign,
+        verify,
+        batch_size,
+        individual_reference_us,
+        individual_fast_us,
+        batch_us,
+    };
+    println!(
+        "{:>16} {:>14} {:>14} {:>10}",
+        "op", "reference µs", "fast µs", "speedup"
+    );
+    for (name, row) in [
+        ("mod_pow", &summary.mod_pow),
+        ("schnorr sign", &summary.sign),
+        ("schnorr verify", &summary.verify),
+    ] {
+        println!(
+            "{:>16} {:>14.1} {:>14.1} {:>9.1}x",
+            name,
+            row.reference_us,
+            row.fast_us,
+            row.speedup()
+        );
+    }
+    println!(
+        "\nbatch_verify({batch_size}): {:.0} µs vs {:.0} µs individual-reference \
+         ({:.1}x) and {:.0} µs individual-fast ({:.2}x)",
+        summary.batch_us,
+        summary.individual_reference_us,
+        summary.batch_speedup_vs_reference(),
+        summary.individual_fast_us,
+        summary.batch_speedup_vs_fast()
+    );
+    println!("\nshape: REDC replaces a Knuth division per multiply; the fixed-base");
+    println!("g-table removes all squarings from g-exponentiations; batches share");
+    println!("per-key window tables across the block's signatures.");
+    summary
 }
 
 /// E8 — ablations of DRAMS design choices.

@@ -135,6 +135,35 @@ impl Block {
         Ok(())
     }
 
+    /// Verifies every transaction signature in one batched pass.
+    ///
+    /// Uses [`drams_crypto::schnorr::batch_verify`], which amortises
+    /// per-key window tables across the block — blocks are dominated by
+    /// a handful of Logging Interface identities, so this is the hot
+    /// import path. Exactly equivalent to verifying each transaction
+    /// individually.
+    ///
+    /// # Errors
+    ///
+    /// [`ChainError::BadSignature`] if any transaction fails.
+    pub fn verify_signatures(&self) -> Result<(), ChainError> {
+        if self.transactions.is_empty() {
+            return Ok(());
+        }
+        let messages: Vec<Vec<u8>> = self
+            .transactions
+            .iter()
+            .map(Transaction::signing_bytes)
+            .collect();
+        let batch: Vec<_> = self
+            .transactions
+            .iter()
+            .zip(&messages)
+            .map(|(tx, msg)| (tx.sender, msg.as_slice(), tx.signature))
+            .collect();
+        drams_crypto::schnorr::batch_verify(&batch).map_err(|_| ChainError::BadSignature)
+    }
+
     /// Total serialized size in bytes.
     #[must_use]
     pub fn wire_len(&self) -> usize {

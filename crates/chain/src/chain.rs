@@ -215,9 +215,9 @@ impl Blockchain {
         }
         block.validate_standalone()?;
         if self.config.verify_signatures {
-            for tx in &block.transactions {
-                tx.verify_signature()?;
-            }
+            // One batched pass over the whole block (shared per-key
+            // tables) instead of a per-transaction verification loop.
+            block.verify_signatures()?;
         }
 
         let total_work = parent_work + (1u128 << block.header.difficulty_bits.min(127));

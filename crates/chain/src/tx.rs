@@ -66,16 +66,24 @@ impl Transaction {
     ///
     /// Returns [`ChainError::BadSignature`] when verification fails.
     pub fn verify_signature(&self) -> Result<(), ChainError> {
-        let signing = signing_bytes(
+        self.sender
+            .verify(&self.signing_bytes(), &self.signature)
+            .map_err(ChainError::from)
+    }
+
+    /// The exact bytes this transaction's Schnorr signature covers.
+    ///
+    /// Exposed so block validation can batch-verify many transactions in
+    /// one [`drams_crypto::schnorr::batch_verify`] call.
+    #[must_use]
+    pub fn signing_bytes(&self) -> Vec<u8> {
+        signing_bytes(
             &self.sender,
             self.nonce,
             &self.contract,
             &self.method,
             &self.payload,
-        );
-        self.sender
-            .verify(&signing, &self.signature)
-            .map_err(ChainError::from)
+        )
     }
 
     /// Approximate wire size in bytes (used by the log-size experiments).

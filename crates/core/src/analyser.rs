@@ -37,6 +37,11 @@ pub struct Analyser {
     probe_mac_keys: BTreeMap<ProbeId, [u8; 32]>,
     event_cursor: usize,
     checked_groups: u64,
+    /// Hash of the last main-chain block whose signatures were audited.
+    /// A hash (not a height) so a reorg that swaps in blocks below the
+    /// old tip forces a re-audit from the fork point.
+    audited_tip: drams_chain::block::BlockHash,
+    audited_txs: u64,
 }
 
 impl std::fmt::Debug for Analyser {
@@ -68,6 +73,8 @@ impl Analyser {
             probe_mac_keys,
             event_cursor: 0,
             checked_groups: 0,
+            audited_tip: drams_chain::block::BlockHash::ZERO,
+            audited_txs: 0,
         }
     }
 
@@ -83,6 +90,13 @@ impl Analyser {
         self.checked_groups
     }
 
+    /// Transaction signatures independently re-verified by the chain
+    /// audit (see [`Analyser::poll`]).
+    #[must_use]
+    pub fn audited_txs(&self) -> u64 {
+        self.audited_txs
+    }
+
     /// Updates the authorised policy (legitimate policy administration).
     pub fn set_authorised_policy(&mut self, policy: PolicySet) {
         self.verifier.set_policy(policy);
@@ -91,7 +105,15 @@ impl Analyser {
     /// Consumes new `group.complete` events from `node`, verifies each
     /// completed group and submits findings on-chain. Returns the alerts
     /// raised in this poll (they commit with the next block).
+    ///
+    /// Also audits every newly committed block: the Analyser batch
+    /// re-verifies all transaction signatures itself
+    /// ([`drams_crypto::schnorr::batch_verify`]) rather than trusting
+    /// the node's import path — the monitoring plane is part of the
+    /// paper's threat model, so log non-repudiation is checked by an
+    /// independent component.
     pub fn poll(&mut self, node: &mut Node, now: SimTime) -> Vec<Alert> {
+        let audit_alerts = self.audit_new_blocks(node, now);
         let completed: Vec<CorrelationId> = {
             let (events, cursor) = node.events_since(self.event_cursor);
             self.event_cursor = cursor;
@@ -104,7 +126,7 @@ impl Analyser {
                 })
                 .collect()
         };
-        let mut alerts = Vec::new();
+        let mut alerts = audit_alerts;
         for corr in completed {
             alerts.extend(self.check_group(node, corr, now));
             self.checked_groups += 1;
@@ -119,6 +141,51 @@ impl Analyser {
                 drams_crypto::codec::Encode::to_canonical_bytes(alert),
             );
         }
+        alerts
+    }
+
+    /// Batch-audits transaction signatures of main-chain blocks not yet
+    /// seen, advancing the audit cursor to the tip.
+    ///
+    /// Walks parent links from the tip down to the last audited block
+    /// hash — one hop per new block (O(new blocks), not per-height tip
+    /// walks) — so a reorg that abandons the previously audited tip is
+    /// re-audited from the fork point rather than silently skipped.
+    fn audit_new_blocks(&mut self, node: &Node, now: SimTime) -> Vec<Alert> {
+        let chain = node.chain();
+        let tip = chain.tip_hash();
+        if tip == self.audited_tip {
+            return Vec::new();
+        }
+        let mut pending = Vec::new();
+        let mut cursor = tip;
+        while cursor != self.audited_tip {
+            let Some(block) = chain.block(&cursor) else {
+                break;
+            };
+            pending.push(cursor);
+            if block.header.height == 0 {
+                break; // reached genesis: the old audited tip was reorged away
+            }
+            cursor = block.header.parent;
+        }
+        let mut alerts = Vec::new();
+        for hash in pending.iter().rev() {
+            let block = chain.block(hash).expect("collected from the chain above");
+            self.audited_txs += block.transactions.len() as u64;
+            if let Err(e) = block.verify_signatures() {
+                alerts.push(Alert::new(
+                    AlertKind::MonitorCompromise,
+                    CorrelationId(0),
+                    now,
+                    format!(
+                        "block {hash} at height {} carries an invalid transaction signature: {e}",
+                        block.header.height
+                    ),
+                ));
+            }
+        }
+        self.audited_tip = tip;
         alerts
     }
 
@@ -497,6 +564,63 @@ mod tests {
         assert!(alerts
             .iter()
             .any(|a| a.kind == AlertKind::MonitorCompromise));
+    }
+
+    #[test]
+    fn poll_audits_committed_transaction_signatures() {
+        let mut r = rig();
+        let resp = honest_response("doctor");
+        run_group(&mut r, 10, "doctor", resp, true);
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert!(
+            alerts.is_empty(),
+            "honest chain must audit clean: {alerts:?}"
+        );
+        // init tx + 4 store_log txs were independently re-verified.
+        assert!(
+            r.analyser.audited_txs() >= 5,
+            "{}",
+            r.analyser.audited_txs()
+        );
+        // Re-polling does not re-audit the same blocks.
+        let audited = r.analyser.audited_txs();
+        r.analyser.poll(&mut r.node, 2_100);
+        assert_eq!(r.analyser.audited_txs(), audited);
+    }
+
+    #[test]
+    fn audit_survives_a_reorg() {
+        use drams_chain::block::Block;
+        use drams_chain::chain::ImportOutcome;
+
+        let mut r = rig();
+        let resp = honest_response("doctor");
+        run_group(&mut r, 11, "doctor", resp, true);
+        assert!(r.analyser.poll(&mut r.node, 2_000).is_empty());
+        let audited_before = r.analyser.audited_txs();
+
+        // Build a heavier fork from genesis (empty blocks at difficulty
+        // 0) that replaces the audited chain entirely.
+        let genesis = r.node.chain().genesis_hash();
+        let tip_height = r.node.chain().tip_header().height;
+        let mut parent = genesis;
+        for h in 1..=tip_height + 1 {
+            let block = Block::mine(parent, h, vec![], 10_000 + h, 0);
+            parent = block.hash();
+            let outcome = r.node.receive_block(block).unwrap();
+            assert!(!matches!(outcome, ImportOutcome::AlreadyKnown));
+        }
+        // The audit cursor's old tip is no longer on the main chain; the
+        // hash-based walk re-audits from genesis without panicking or
+        // raising alerts (the fork's blocks are empty but validly mined).
+        let alerts = r.analyser.poll(&mut r.node, 3_000);
+        assert!(alerts.is_empty(), "reorg audit alerts: {alerts:?}");
+        // Empty fork blocks add no transactions to the audit counter.
+        assert_eq!(r.analyser.audited_txs(), audited_before);
+        // Subsequent polls resume incrementally from the new tip.
+        let tip = r.node.chain().tip_hash();
+        r.analyser.poll(&mut r.node, 3_100);
+        assert_eq!(r.node.chain().tip_hash(), tip);
     }
 
     #[test]

@@ -335,14 +335,21 @@ impl SmartContract for MonitorContract {
     }
 }
 
+/// Encodes a batch of entries for `store_log_batch` into `w`, so callers
+/// with a size estimate can pre-allocate (see
+/// [`crate::li::LoggingInterface::flush`]).
+pub fn encode_batch_into(entries: &[LogEntry], w: &mut Writer) {
+    w.put_varint(entries.len() as u64);
+    for e in entries {
+        e.encode(w);
+    }
+}
+
 /// Encodes a batch of entries for `store_log_batch`.
 #[must_use]
 pub fn encode_batch(entries: &[LogEntry]) -> Vec<u8> {
     let mut w = Writer::new();
-    w.put_varint(entries.len() as u64);
-    for e in entries {
-        e.encode(&mut w);
-    }
+    encode_batch_into(entries, &mut w);
     w.into_bytes()
 }
 

@@ -16,10 +16,14 @@
 //! * [`merkle`] — binary Merkle trees with inclusion proofs, used for block
 //!   transaction roots and for the hybrid database anchoring of ref \[9\].
 //! * [`bignum`] — 256/512-bit unsigned integer arithmetic (Knuth
-//!   Algorithm D division, modular exponentiation), the number-theoretic
-//!   backend for signatures.
+//!   Algorithm D division, modular exponentiation), the auditable
+//!   reference backend for signatures.
+//! * [`montgomery`] — the fast arithmetic core: division-free Montgomery
+//!   REDC multiplication, fixed-window exponentiation and precomputed
+//!   fixed-base tables, property-tested equivalent to [`bignum`].
 //! * [`schnorr`] — Schnorr signatures over the quadratic-residue subgroup
-//!   of a fixed 256-bit safe prime, used to sign blockchain transactions.
+//!   of a fixed 256-bit safe prime, used to sign blockchain transactions;
+//!   includes [`schnorr::batch_verify`] for amortised block validation.
 //! * [`codec`] — a canonical, deterministic binary encoding. Hashing and
 //!   signing require byte-for-byte reproducible encodings, which generic
 //!   serialisation frameworks do not guarantee; every on-chain datum in
@@ -47,13 +51,15 @@ pub mod chacha20;
 pub mod codec;
 pub mod hmac;
 pub mod merkle;
+pub mod montgomery;
 pub mod schnorr;
 pub mod sha256;
 
 pub use aead::{open, seal, SealedBox, SymmetricKey};
 pub use codec::{Decode, Encode, Reader, Writer};
 pub use merkle::{MerkleProof, MerkleTree};
-pub use schnorr::{Keypair, PublicKey, SecretKey, Signature};
+pub use montgomery::{FixedBaseTable, MontCtx};
+pub use schnorr::{batch_verify, BatchVerifyError, Keypair, PublicKey, SecretKey, Signature};
 pub use sha256::Digest;
 
 use std::fmt;

@@ -91,7 +91,16 @@ impl MerkleTree {
     /// internal nodes still use the internal prefix.
     #[must_use]
     pub fn from_leaf_hashes(leaf_hashes: Vec<Digest>) -> Self {
-        let mut levels = vec![leaf_hashes];
+        // ⌈log₂ n⌉ + 1 levels; preallocating avoids regrowth while the
+        // tree is assembled bottom-up.
+        let n = leaf_hashes.len();
+        let depth = if n <= 1 {
+            1
+        } else {
+            (usize::BITS - (n - 1).leading_zeros()) as usize + 1
+        };
+        let mut levels = Vec::with_capacity(depth);
+        levels.push(leaf_hashes);
         while levels.last().map(Vec::len).unwrap_or(0) > 1 {
             let prev = levels.last().expect("non-empty by loop condition");
             let mut next = Vec::with_capacity(prev.len().div_ceil(2));
@@ -169,18 +178,28 @@ pub fn empty_root() -> Digest {
 }
 
 fn hash_leaf(data: &[u8]) -> Digest {
-    let mut h = Sha256::new();
-    h.update(&[0x00]);
-    h.update(data);
-    h.finalize()
+    // Small leaves (tx ids, anchor records) take the one-shot digest
+    // over a stack buffer; large leaves stream through the incremental
+    // hasher, which compresses aligned blocks without staging.
+    if data.len() < 128 {
+        let mut buf = [0u8; 128];
+        buf[0] = 0x00;
+        buf[1..=data.len()].copy_from_slice(data);
+        Sha256::digest(&buf[..=data.len()])
+    } else {
+        let mut h = Sha256::new();
+        h.update(&[0x00]);
+        h.update(data);
+        h.finalize()
+    }
 }
 
 fn hash_internal(left: &Digest, right: &Digest) -> Digest {
-    let mut h = Sha256::new();
-    h.update(&[0x01]);
-    h.update(left.as_bytes());
-    h.update(right.as_bytes());
-    h.finalize()
+    let mut buf = [0u8; 65];
+    buf[0] = 0x01;
+    buf[1..33].copy_from_slice(left.as_bytes());
+    buf[33..].copy_from_slice(right.as_bytes());
+    Sha256::digest(&buf)
 }
 
 #[cfg(test)]
@@ -274,6 +293,20 @@ mod tests {
     fn proof_sizes_are_logarithmic() {
         let (tree, _) = tree_of(1024);
         assert_eq!(tree.proof(0).unwrap().siblings.len(), 10);
+    }
+
+    #[test]
+    fn leaf_hash_is_identical_across_stack_and_streamed_paths() {
+        // hash_leaf switches implementation at 128 bytes; both sides of
+        // the boundary must agree with the reference prefix-then-data
+        // construction.
+        for len in [0usize, 1, 63, 126, 127, 128, 129, 500] {
+            let data = vec![0x5au8; len];
+            let mut h = Sha256::new();
+            h.update(&[0x00]);
+            h.update(&data);
+            assert_eq!(hash_leaf(&data), h.finalize(), "len {len}");
+        }
     }
 
     #[test]

@@ -64,6 +64,9 @@ impl Sha256 {
     }
 
     /// Absorbs `data` into the hash state.
+    ///
+    /// Aligned 64-byte blocks are compressed directly from the input
+    /// slice; the internal buffer only stages partial blocks.
     pub fn update(&mut self, data: &[u8]) {
         self.length_bytes = self.length_bytes.wrapping_add(data.len() as u64);
         let mut input = data;
@@ -73,20 +76,18 @@ impl Sha256 {
             self.buffered += take;
             input = &input[take..];
             if self.buffered == 64 {
-                let block = self.buffer;
-                self.compress(&block);
+                compress(&mut self.state, &self.buffer);
                 self.buffered = 0;
             }
         }
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
-            self.compress(&block);
-            input = &input[64..];
+        let mut chunks = input.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut self.state, block.try_into().expect("64-byte chunk"));
         }
-        if !input.is_empty() {
-            self.buffer[..input.len()].copy_from_slice(input);
-            self.buffered = input.len();
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            self.buffer[..rest.len()].copy_from_slice(rest);
+            self.buffered = rest.len();
         }
     }
 
@@ -94,65 +95,101 @@ impl Sha256 {
     #[must_use]
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.length_bytes.wrapping_mul(8);
-        self.update(&[0x80]);
-        while self.buffered != 56 {
-            self.update(&[0x00]);
+        // Padding: 0x80, zeros to 56 mod 64, then the bit length. Built
+        // in place rather than routed through `update`.
+        self.buffer[self.buffered] = 0x80;
+        for b in &mut self.buffer[self.buffered + 1..] {
+            *b = 0;
         }
-        // Appending the length must not be routed through `update`'s length
-        // accounting, so compress the final block directly.
+        if self.buffered >= 56 {
+            compress(&mut self.state, &self.buffer);
+            self.buffer = [0u8; 64];
+        }
         self.buffer[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buffer;
-        self.compress(&block);
-        let mut out = [0u8; 32];
-        for (i, word) in self.state.iter().enumerate() {
-            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        Digest(out)
+        compress(&mut self.state, &self.buffer);
+        digest_of_state(&self.state)
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 64];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    /// One-shot digest: compresses aligned 64-byte blocks directly from
+    /// `data` without staging through the internal buffer, then pads the
+    /// tail on the stack. Equivalent to `new` + `update` + `finalize`,
+    /// measurably cheaper for the workspace's hashing-heavy paths
+    /// (transaction/block ids, Merkle nodes, log digests).
+    #[must_use]
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut state = H0;
+        let mut chunks = data.chunks_exact(64);
+        for block in &mut chunks {
+            compress(&mut state, block.try_into().expect("64-byte chunk"));
         }
-        for i in 16..64 {
-            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
-            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
-            w[i] = w[i - 16]
-                .wrapping_add(s0)
-                .wrapping_add(w[i - 7])
-                .wrapping_add(s1);
+        let rest = chunks.remainder();
+        let mut tail = [0u8; 128];
+        tail[..rest.len()].copy_from_slice(rest);
+        tail[rest.len()] = 0x80;
+        let blocks = if rest.len() >= 56 { 2 } else { 1 };
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        tail[blocks * 64 - 8..blocks * 64].copy_from_slice(&bit_len.to_be_bytes());
+        compress(&mut state, tail[..64].try_into().expect("first tail block"));
+        if blocks == 2 {
+            compress(
+                &mut state,
+                tail[64..].try_into().expect("second tail block"),
+            );
         }
-        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
-        for i in 0..64 {
-            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
-            let ch = (e & f) ^ (!e & g);
-            let t1 = h
-                .wrapping_add(s1)
-                .wrapping_add(ch)
-                .wrapping_add(K[i])
-                .wrapping_add(w[i]);
-            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
-            let maj = (a & b) ^ (a & c) ^ (b & c);
-            let t2 = s0.wrapping_add(maj);
-            h = g;
-            g = f;
-            f = e;
-            e = d.wrapping_add(t1);
-            d = c;
-            c = b;
-            b = a;
-            a = t1.wrapping_add(t2);
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
-        self.state[5] = self.state[5].wrapping_add(f);
-        self.state[6] = self.state[6].wrapping_add(g);
-        self.state[7] = self.state[7].wrapping_add(h);
+        digest_of_state(&state)
     }
+}
+
+fn digest_of_state(state: &[u32; 8]) -> Digest {
+    let mut out = [0u8; 32];
+    for (i, word) in state.iter().enumerate() {
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
+
+fn compress(state: &mut [u32; 8], block: &[u8; 64]) {
+    let mut w = [0u32; 64];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ (!e & g);
+        let t1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let t2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(t1);
+        d = c;
+        c = b;
+        b = a;
+        a = t1.wrapping_add(t2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
 }
 
 /// A 32-byte SHA-256 digest.
@@ -175,12 +212,11 @@ impl Digest {
     /// The all-zero digest, used as a sentinel (e.g. the genesis parent).
     pub const ZERO: Digest = Digest([0u8; 32]);
 
-    /// Hashes `data` in one shot.
+    /// Hashes `data` in one shot (the buffer-free [`Sha256::digest`]
+    /// fast path).
     #[must_use]
     pub fn of(data: &[u8]) -> Digest {
-        let mut h = Sha256::new();
-        h.update(data);
-        h.finalize()
+        Sha256::digest(data)
     }
 
     /// Hashes the concatenation of several byte slices.
@@ -363,6 +399,20 @@ mod tests {
         let mut b = [0u8; 32];
         b[1] = 0x80;
         assert_eq!(Digest(b).leading_zero_bits(), 8);
+    }
+
+    #[test]
+    fn oneshot_equals_incremental_at_padding_boundaries() {
+        // The one-shot digest has its own padding logic; pin it to the
+        // incremental hasher across every block/padding boundary.
+        for len in [
+            0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 121, 127, 128, 129, 255, 256,
+        ] {
+            let data: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let mut h = Sha256::new();
+            h.update(&data);
+            assert_eq!(Sha256::digest(&data), h.finalize(), "len {len}");
+        }
     }
 
     #[test]
