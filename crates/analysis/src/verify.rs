@@ -97,6 +97,16 @@ pub struct DecisionVerifier {
     policy: PolicySet,
     prepared: Arc<PreparedPolicySet>,
     version: Digest,
+    /// Every version legitimately authorised over the run, including the
+    /// current one. During policy churn a decision can be logged under
+    /// version *n* and checked after version *n+1* became active; such
+    /// in-flight decisions are verified against the version they claim —
+    /// provided that version was authorised and *still active when the
+    /// decision was taken* — instead of being flagged as swaps. The
+    /// second element records when the version was superseded (`None` =
+    /// still active): a PDP stuck on a retired version is caught, not
+    /// grandfathered forever.
+    history: std::collections::HashMap<Digest, (Arc<PreparedPolicySet>, Option<u64>)>,
 }
 
 impl DecisionVerifier {
@@ -106,17 +116,32 @@ impl DecisionVerifier {
     pub fn new(policy: PolicySet) -> Self {
         let prepared = Arc::new(PreparedPolicySet::compile(&policy));
         let version = prepared.version_digest();
+        let mut history = std::collections::HashMap::new();
+        history.insert(version, (prepared.clone(), None));
         DecisionVerifier {
             policy,
             prepared,
             version,
+            history,
         }
     }
 
-    /// The authorised policy version digest.
+    /// The authorised policy version digest (the currently active one).
     #[must_use]
     pub fn authorised_version(&self) -> Digest {
         self.version
+    }
+
+    /// Whether `version` was ever legitimately authorised.
+    #[must_use]
+    pub fn is_authorised_version(&self, version: &Digest) -> bool {
+        self.history.contains_key(version)
+    }
+
+    /// Number of distinct authorised versions seen so far.
+    #[must_use]
+    pub fn authorised_version_count(&self) -> usize {
+        self.history.len()
     }
 
     /// The authorised policy (source form).
@@ -125,12 +150,39 @@ impl DecisionVerifier {
         &self.policy
     }
 
-    /// Replaces the authorised policy (e.g. after a legitimate update
-    /// announced through the policy administration channel).
+    /// Replaces the authorised policy and **forgets** all previous
+    /// versions (e.g. provisioning a fresh verifier, or revoking a
+    /// version retroactively).
     pub fn set_policy(&mut self, policy: PolicySet) {
         self.prepared = Arc::new(PreparedPolicySet::compile(&policy));
         self.version = self.prepared.version_digest();
         self.policy = policy;
+        self.history.clear();
+        self.history
+            .insert(self.version, (self.prepared.clone(), None));
+    }
+
+    /// Makes `policy` the active authorised version as of time `now`
+    /// while keeping earlier versions authorised for decisions taken
+    /// before they were superseded — the legitimate
+    /// policy-administration path (publication or rollback through the
+    /// PRP). `now` is the activation instant in whatever clock the
+    /// deployment logs decision times in (the DES uses virtual
+    /// microseconds).
+    pub fn publish_policy(&mut self, policy: PolicySet, now: u64) {
+        let old = self.version;
+        self.prepared = Arc::new(PreparedPolicySet::compile(&policy));
+        self.version = self.prepared.version_digest();
+        self.policy = policy;
+        if old != self.version {
+            if let Some((_, retired_at)) = self.history.get_mut(&old) {
+                retired_at.get_or_insert(now);
+            }
+        }
+        // The new current version is active again even if it was retired
+        // before (rollback re-activates an old digest).
+        self.history
+            .insert(self.version, (self.prepared.clone(), None));
     }
 
     /// The response the authorised policy yields for `request`
@@ -153,7 +205,10 @@ impl DecisionVerifier {
     /// Verifies a logged `(request, response)` pair.
     #[must_use]
     pub fn verify(&self, request: &Request, claimed: &Response) -> Verdict {
-        let expected = self.expected_response(request);
+        Self::compare(claimed, &self.expected_response(request))
+    }
+
+    fn compare(claimed: &Response, expected: &Response) -> Verdict {
         if claimed.decision != expected.decision {
             return Verdict::Violation(Violation::WrongDecision {
                 claimed: claimed.decision,
@@ -172,10 +227,17 @@ impl DecisionVerifier {
     }
 
     /// Verifies a logged pair that also carries the policy version it was
-    /// evaluated under. A version mismatch is reported even when the
-    /// decision happens to coincide — the paper's threat model includes
-    /// policy substitution, and a swap that agrees on this request may
-    /// diverge on the next.
+    /// evaluated under. A version outside the authorised history is
+    /// reported even when the decision happens to coincide — the paper's
+    /// threat model includes policy substitution, and a swap that agrees
+    /// on this request may diverge on the next. A superseded-but-
+    /// authorised version (in-flight decision during legitimate churn) is
+    /// re-evaluated against that version.
+    ///
+    /// This time-blind variant accepts a superseded version regardless of
+    /// when the decision was taken; prefer
+    /// [`DecisionVerifier::verify_versioned_at`] when the decision time
+    /// is known.
     #[must_use]
     pub fn verify_versioned(
         &self,
@@ -183,13 +245,54 @@ impl DecisionVerifier {
         claimed: &Response,
         claimed_version: Digest,
     ) -> Verdict {
-        if claimed_version != self.version {
+        self.verify_versioned_inner(request, claimed, claimed_version, None)
+    }
+
+    /// Like [`DecisionVerifier::verify_versioned`], but also checks the
+    /// decision *time*: a decision logged under a superseded version is
+    /// legitimate only if it was taken while that version was still
+    /// active — a PDP that keeps serving a retired (perhaps more
+    /// permissive) version after a new one activated raises
+    /// `WrongPolicyVersion` instead of being grandfathered forever.
+    #[must_use]
+    pub fn verify_versioned_at(
+        &self,
+        request: &Request,
+        claimed: &Response,
+        claimed_version: Digest,
+        decided_at: u64,
+    ) -> Verdict {
+        self.verify_versioned_inner(request, claimed, claimed_version, Some(decided_at))
+    }
+
+    fn verify_versioned_inner(
+        &self,
+        request: &Request,
+        claimed: &Response,
+        claimed_version: Digest,
+        decided_at: Option<u64>,
+    ) -> Verdict {
+        if claimed_version == self.version {
+            return self.verify(request, claimed);
+        }
+        let Some((prepared, retired_at)) = self.history.get(&claimed_version) else {
             return Verdict::Violation(Violation::WrongPolicyVersion {
                 claimed: claimed_version,
                 expected: self.version,
             });
+        };
+        // A decision taken at the activation instant of the successor may
+        // legitimately still be the old version's, hence strict `>`.
+        if let (Some(decided), Some(retired)) = (decided_at, retired_at) {
+            if decided > *retired {
+                return Verdict::Violation(Violation::WrongPolicyVersion {
+                    claimed: claimed_version,
+                    expected: self.version,
+                });
+            }
         }
-        self.verify(request, claimed)
+        let (extended, obligations) = prepared.evaluate(request);
+        Self::compare(claimed, &Response::new(extended, obligations))
     }
 }
 
@@ -286,6 +389,74 @@ mod tests {
             verifier.expected_response(&doctor()).decision,
             Decision::Permit
         );
+    }
+
+    #[test]
+    fn published_versions_stay_authorised_for_in_flight_decisions() {
+        let mut verifier = DecisionVerifier::new(policy());
+        let v0 = verifier.authorised_version();
+        let v0_response = verifier.expected_response(&doctor());
+        // Legitimate churn: a permit-unless-deny policy becomes active.
+        let new = PolicySet::builder("root2", CombiningAlg::PermitUnlessDeny).build();
+        verifier.publish_policy(new, 1_000);
+        let v1 = verifier.authorised_version();
+        assert_ne!(v0, v1);
+        assert_eq!(verifier.authorised_version_count(), 2);
+        assert!(verifier.is_authorised_version(&v0));
+        // An in-flight decision logged under v0 verifies against v0…
+        assert!(verifier
+            .verify_versioned(&doctor(), &v0_response, v0)
+            .is_consistent());
+        // …but a *wrong* decision under v0 is still caught against v0.
+        let nurse = Request::builder().subject("role", "nurse").build();
+        let lie = Response::new(ExtDecision::Permit, vec![]);
+        assert!(matches!(
+            verifier.verify_versioned(&nurse, &lie, v0),
+            Verdict::Violation(Violation::WrongDecision { .. })
+        ));
+        // A never-authorised version remains a swap.
+        assert!(matches!(
+            verifier.verify_versioned(&doctor(), &v0_response, Digest::of(b"rogue")),
+            Verdict::Violation(Violation::WrongPolicyVersion { .. })
+        ));
+        // set_policy forgets history: v0 becomes unauthorised again.
+        verifier.set_policy(policy());
+        assert_eq!(verifier.authorised_version_count(), 1);
+        assert!(!verifier.is_authorised_version(&v1));
+    }
+
+    #[test]
+    fn stuck_pdp_on_retired_version_is_caught_by_decision_time() {
+        let mut verifier = DecisionVerifier::new(policy());
+        let v0 = verifier.authorised_version();
+        let v0_response = verifier.expected_response(&doctor());
+        let new = PolicySet::builder("root2", CombiningAlg::PermitUnlessDeny).build();
+        verifier.publish_policy(new, 1_000);
+        // In-flight: decided at (or before) the activation instant — ok.
+        assert!(verifier
+            .verify_versioned_at(&doctor(), &v0_response, v0, 900)
+            .is_consistent());
+        assert!(verifier
+            .verify_versioned_at(&doctor(), &v0_response, v0, 1_000)
+            .is_consistent());
+        // Stuck PDP: still deciding under v0 after v1 activated.
+        assert!(matches!(
+            verifier.verify_versioned_at(&doctor(), &v0_response, v0, 1_001),
+            Verdict::Violation(Violation::WrongPolicyVersion { .. })
+        ));
+        // Rolling back re-activates v0: late v0 decisions are current
+        // again, and v1 is now the retired one.
+        let v1 = verifier.authorised_version();
+        let v1_response = verifier.expected_response(&doctor());
+        verifier.publish_policy(policy(), 2_000);
+        assert_eq!(verifier.authorised_version(), v0);
+        assert!(verifier
+            .verify_versioned_at(&doctor(), &v0_response, v0, 5_000)
+            .is_consistent());
+        assert!(matches!(
+            verifier.verify_versioned_at(&doctor(), &v1_response, v1, 3_000),
+            Verdict::Violation(Violation::WrongPolicyVersion { .. })
+        ));
     }
 
     #[test]

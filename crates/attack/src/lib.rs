@@ -9,6 +9,8 @@
 //!
 //! * [`threat`] — the seven-threat catalogue and [`ScriptedAdversary`].
 //! * [`score`](mod@score) — detection rate / false positives / latency scoring.
+//! * [`window`] — fault windows: any adversary becomes a schedulable
+//!   scenario component active only inside declared virtual-time windows.
 //!
 //! # Example
 //!
@@ -26,7 +28,9 @@
 pub mod composite;
 pub mod score;
 pub mod threat;
+pub mod window;
 
 pub use composite::CompositeAdversary;
 pub use score::{detected_by_any_alert, expected_alert_kinds, score, DetectionScore};
 pub use threat::{ScriptedAdversary, ThreatKind};
+pub use window::{FaultWindow, WindowedAdversary};

@@ -1,0 +1,215 @@
+//! Schedulable adversaries: fault windows over virtual time.
+//!
+//! The scenario runtime (`drams_core::scenario`) drives everything off
+//! virtual-time events; [`WindowedAdversary`] makes attack campaigns
+//! schedulable the same way — any [`Adversary`] is wrapped so its hooks
+//! only fire inside declared [`FaultWindow`]s. A scenario can thus model
+//! "the LI is compromised between t₁ and t₂" or "requests are tampered
+//! only during the burst phase" and score detection against a ground
+//! truth that is empty outside the windows.
+
+use drams_core::adversary::Adversary;
+use drams_core::logent::LogEntry;
+use drams_faas::des::SimTime;
+use drams_faas::msg::{RequestEnvelope, ResponseEnvelope};
+use drams_policy::policy::PolicySet;
+
+/// A half-open virtual-time window `[from, until)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub from: SimTime,
+    /// Window end (exclusive).
+    pub until: SimTime,
+}
+
+impl FaultWindow {
+    /// Creates a window.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty window (`until <= from`).
+    #[must_use]
+    pub fn new(from: SimTime, until: SimTime) -> Self {
+        assert!(from < until, "fault window must be non-empty");
+        FaultWindow { from, until }
+    }
+
+    /// Whether `now` falls inside the window.
+    #[must_use]
+    pub fn contains(&self, now: SimTime) -> bool {
+        self.from <= now && now < self.until
+    }
+}
+
+/// Wraps any adversary so its hooks fire only inside the given windows.
+///
+/// Outside every window the wrapper is indistinguishable from
+/// [`drams_core::adversary::NoAdversary`] — the inner adversary is not
+/// even consulted, so its RNG state does not advance and the attack
+/// campaign inside the windows is independent of how long the honest
+/// phases last.
+#[derive(Debug)]
+pub struct WindowedAdversary<A> {
+    inner: A,
+    windows: Vec<FaultWindow>,
+}
+
+impl<A> WindowedAdversary<A> {
+    /// Wraps `inner` with the activity `windows`.
+    #[must_use]
+    pub fn new(inner: A, windows: Vec<FaultWindow>) -> Self {
+        WindowedAdversary { inner, windows }
+    }
+
+    /// Whether any window covers `now`.
+    #[must_use]
+    pub fn active_at(&self, now: SimTime) -> bool {
+        self.windows.iter().any(|w| w.contains(now))
+    }
+
+    /// The wrapped adversary.
+    #[must_use]
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+}
+
+impl<A: Adversary> Adversary for WindowedAdversary<A> {
+    fn tamper_request_in_transit(&mut self, envelope: &mut RequestEnvelope, now: SimTime) -> bool {
+        self.active_at(now) && self.inner.tamper_request_in_transit(envelope, now)
+    }
+
+    fn tamper_response_in_transit(
+        &mut self,
+        envelope: &mut ResponseEnvelope,
+        now: SimTime,
+    ) -> bool {
+        self.active_at(now) && self.inner.tamper_response_in_transit(envelope, now)
+    }
+
+    fn swap_policy(&mut self, authorised: &PolicySet) -> Option<PolicySet> {
+        // Policy swap happens at deployment time (virtual time 0): it
+        // fires only when a window covers the start of the run.
+        if self.active_at(0) {
+            self.inner.swap_policy(authorised)
+        } else {
+            None
+        }
+    }
+
+    fn corrupt_pdp_decision(&mut self, envelope: &mut ResponseEnvelope, now: SimTime) -> bool {
+        self.active_at(now) && self.inner.corrupt_pdp_decision(envelope, now)
+    }
+
+    fn flip_enforcement(&mut self, granted: &mut bool, now: SimTime) -> bool {
+        self.active_at(now) && self.inner.flip_enforcement(granted, now)
+    }
+
+    fn drop_log(&mut self, entry: &LogEntry, now: SimTime) -> bool {
+        self.active_at(now) && self.inner.drop_log(entry, now)
+    }
+
+    fn tamper_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
+        self.active_at(now) && self.inner.tamper_log(entry, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::score;
+    use crate::threat::{ScriptedAdversary, ThreatKind};
+    use drams_core::adversary::NoAdversary;
+    use drams_core::monitor::{run_monitor, MonitorConfig};
+    use drams_faas::des::{MILLIS, SECONDS};
+    use drams_faas::model::{PepId, TenantId};
+    use drams_faas::msg::CorrelationId;
+    use drams_policy::attr::Request;
+
+    fn request_env() -> RequestEnvelope {
+        RequestEnvelope {
+            correlation: CorrelationId(1),
+            tenant: TenantId(1),
+            pep: PepId(1),
+            service: "svc".into(),
+            request: Request::builder().subject("role", "nurse").build(),
+            issued_at: 0,
+        }
+    }
+
+    #[test]
+    fn hooks_fire_only_inside_windows() {
+        let inner = ScriptedAdversary::new(ThreatKind::TamperRequest, 1.0, 1);
+        let mut adv = WindowedAdversary::new(inner, vec![FaultWindow::new(100, 200)]);
+        let mut env = request_env();
+        assert!(!adv.tamper_request_in_transit(&mut env, 99));
+        assert!(adv.tamper_request_in_transit(&mut env, 100));
+        assert!(adv.tamper_request_in_transit(&mut env, 199));
+        assert!(!adv.tamper_request_in_transit(&mut env, 200));
+    }
+
+    #[test]
+    fn multiple_windows_are_unioned() {
+        let inner = ScriptedAdversary::new(ThreatKind::FlipEnforcement, 1.0, 2);
+        let mut adv = WindowedAdversary::new(
+            inner,
+            vec![FaultWindow::new(0, 10), FaultWindow::new(50, 60)],
+        );
+        let mut granted = true;
+        assert!(adv.flip_enforcement(&mut granted, 5));
+        assert!(!adv.flip_enforcement(&mut granted, 30));
+        assert!(adv.flip_enforcement(&mut granted, 55));
+    }
+
+    #[test]
+    fn swap_policy_needs_a_window_over_deployment_time() {
+        let authorised = drams_core::monitor::default_policy();
+        let late = ScriptedAdversary::new(ThreatKind::SwapPolicy, 1.0, 3);
+        let mut windowed_late = WindowedAdversary::new(late, vec![FaultWindow::new(100, 200)]);
+        assert!(windowed_late.swap_policy(&authorised).is_none());
+        let early = ScriptedAdversary::new(ThreatKind::SwapPolicy, 1.0, 3);
+        let mut windowed_early = WindowedAdversary::new(early, vec![FaultWindow::new(0, 200)]);
+        assert!(windowed_early.swap_policy(&authorised).is_some());
+    }
+
+    #[test]
+    fn no_adversary_stays_silent_even_inside_windows() {
+        let mut adv = WindowedAdversary::new(NoAdversary, vec![FaultWindow::new(0, 1_000)]);
+        let mut env = request_env();
+        assert!(!adv.tamper_request_in_transit(&mut env, 500));
+        assert!(adv.active_at(500));
+    }
+
+    #[test]
+    #[should_panic(expected = "fault window must be non-empty")]
+    fn empty_window_panics() {
+        let _ = FaultWindow::new(10, 10);
+    }
+
+    /// End-to-end: a windowed campaign only attacks inside the window,
+    /// and everything it does is still detected.
+    #[test]
+    fn windowed_campaign_is_bounded_and_fully_detected() {
+        let config = MonitorConfig {
+            total_requests: 80,
+            request_rate_per_sec: 100.0,
+            group_timeout: 2 * SECONDS,
+            seed: 21,
+            ..MonitorConfig::default()
+        };
+        let inner = ScriptedAdversary::new(ThreatKind::TamperResponse, 0.5, 9);
+        let mut adv =
+            WindowedAdversary::new(inner, vec![FaultWindow::new(200 * MILLIS, 500 * MILLIS)]);
+        let (report, truth) = run_monitor(&config, &mut adv);
+        let s = score(ThreatKind::TamperResponse, &report, &truth);
+        assert!(s.attacks > 0, "the window must see some traffic");
+        assert!(
+            (s.attacks as u64) < config.total_requests / 2,
+            "attacks must be bounded by the window, got {}",
+            s.attacks
+        );
+        assert_eq!(s.detected, s.attacks);
+        assert_eq!(s.false_positives, 0);
+    }
+}

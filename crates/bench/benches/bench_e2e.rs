@@ -1,5 +1,7 @@
-//! E6/E7 (Criterion half): wall-clock cost of whole monitored-federation
-//! simulation runs — monitoring off vs on, and at federation scale.
+//! E6/E7/E10 (Criterion half): wall-clock cost of whole
+//! monitored-federation simulation runs — monitoring off vs on, at
+//! federation scale, and across the named E10 scenarios of the
+//! event-driven runtime.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use drams_core::adversary::NoAdversary;
@@ -49,5 +51,27 @@ fn bench_federation_scale(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_monitoring_on_off, bench_federation_scale);
+/// Wall-clock cost of the E10 named scenarios on the event-driven
+/// runtime (quick-sized specs, the same fixtures `run_experiments e10
+/// --quick` measures).
+fn bench_scenario_matrix(c: &mut Criterion) {
+    use drams_bench::scenarios;
+    use drams_core::scenario::run_scenario;
+
+    let mut group = c.benchmark_group("scenario_run_quick");
+    group.sample_size(10);
+    for spec in scenarios::matrix(true) {
+        group.bench_function(BenchmarkId::from_parameter(spec.name.clone()), |b| {
+            b.iter(|| run_scenario(&spec, &mut NoAdversary));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_monitoring_on_off,
+    bench_federation_scale,
+    bench_scenario_matrix
+);
 criterion_main!(benches);

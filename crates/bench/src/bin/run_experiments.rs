@@ -1,22 +1,27 @@
 //! Regenerates every experiment table of the DRAMS reproduction
 //! (EXPERIMENTS.md / DESIGN.md §3).
 //!
-//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e9|all] [--quick]`
+//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e10|all] [--quick] [--scenario <name>]`
 //!
 //! Run with `--release`: E1/E2 perform real proof-of-work hashing.
 //!
 //! `e5` and `e6` additionally write the machine-readable PDP perf
 //! trajectory to `BENCH_PDP.json` at the repo root (µs/decision per
 //! policy-base size, interpreter vs compiled engine; monitoring
-//! overhead), and `e9` writes the crypto-substrate trajectory to
+//! overhead), `e9` writes the crypto-substrate trajectory to
 //! `BENCH_CRYPTO.json` (Montgomery fast path vs the Algorithm D
-//! reference; batch vs individual Schnorr verification). `--quick`
-//! shrinks the sweeps to CI-smoke size — the JSON records which mode
-//! produced it.
+//! reference; batch vs individual Schnorr verification), and `e10`
+//! writes the end-to-end scenario trajectory to `BENCH_E2E.json` (one
+//! row per named scenario of the event-driven runtime; `--scenario
+//! <name>` restricts the matrix to one scenario without touching the
+//! trajectory file). `--quick` shrinks the sweeps to CI-smoke size —
+//! the JSON records which mode produced it.
 
 use drams_attack::{score, ScriptedAdversary, ThreatKind};
 use drams_bench::crypto_trajectory::{self, CryptoSummary, OldNew};
+use drams_bench::e2e_trajectory::{self, ScenarioRow};
 use drams_bench::log_entry_of_size;
+use drams_bench::scenarios;
 use drams_bench::trajectory::{
     render_json, repo_root_path, LatencySummary, MonitoringOverhead, PdpScalingRow,
 };
@@ -39,7 +44,25 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    let which: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let scenario_filter = args
+        .iter()
+        .position(|a| a == "--scenario")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let mut skip_next = false;
+    let which: Vec<&String> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--scenario" {
+                skip_next = true;
+            }
+            !a.starts_with("--")
+        })
+        .collect();
     let all = which.is_empty() || which.iter().any(|w| *w == "all");
     let want = |name: &str| all || which.iter().any(|w| *w == name);
 
@@ -67,6 +90,7 @@ fn main() {
         e8_ablations();
     }
     let e9_summary = want("e9").then(|| e9_crypto_substrate(quick));
+    let e10_rows = want("e10").then(|| e10_scenario_matrix(quick, scenario_filter.as_deref()));
 
     // The tracked perf trajectory: whenever E5 and/or E6 ran, rewrite
     // BENCH_PDP.json at the repo root so the diff shows what moved. A
@@ -102,6 +126,26 @@ fn main() {
             Err(e) => {
                 eprintln!("\nfailed to write {}: {e}", path.display());
                 std::process::exit(1);
+            }
+        }
+    }
+
+    // The end-to-end scenario trajectory: same carry-forward contract.
+    // A filtered run (--scenario) prints its table but does not rewrite
+    // the committed file with a partial matrix.
+    if let Some(rows) = e10_rows {
+        if scenario_filter.is_some() {
+            println!("\n(--scenario filter active: BENCH_E2E.json left untouched)");
+        } else {
+            let path = e2e_trajectory::repo_path();
+            let previous = std::fs::read_to_string(&path).ok();
+            let json = e2e_trajectory::render_json(quick, Some(&rows), previous.as_deref());
+            match std::fs::write(&path, &json) {
+                Ok(()) => println!("wrote e2e trajectory to {}", path.display()),
+                Err(e) => {
+                    eprintln!("\nfailed to write {}: {e}", path.display());
+                    std::process::exit(1);
+                }
             }
         }
     }
@@ -496,10 +540,10 @@ fn e6_monitoring_overhead(quick: bool) -> MonitoringOverhead {
         ..base.clone()
     };
     let wall = Instant::now();
-    let (mut r_off, _) = run_monitor(&off, &mut NoAdversary);
+    let (r_off, _) = run_monitor(&off, &mut NoAdversary);
     let off_wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
     let wall = Instant::now();
-    let (mut r_on, _) = run_monitor(&base, &mut NoAdversary);
+    let (r_on, _) = run_monitor(&base, &mut NoAdversary);
     let on_wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
     println!(
         "{:>12} {:>14} {:>14} {:>14} {:>12}",
@@ -720,6 +764,84 @@ fn e9_crypto_substrate(quick: bool) -> CryptoSummary {
     println!("g-table removes all squarings from g-exponentiations; batches share");
     println!("per-key window tables across the block's signatures.");
     summary
+}
+
+/// E10 — the end-to-end scenario matrix on the event-driven runtime:
+/// steady state, burst with tenant churn, mid-flight policy flip, a
+/// degraded Logging Interface, and a per-cloud PDP federation.
+///
+/// Emits `BENCH_E2E.json` (unless `--scenario` filtered the matrix).
+fn e10_scenario_matrix(quick: bool, filter: Option<&str>) -> Vec<ScenarioRow> {
+    use drams_core::scenario::run_scenario;
+
+    header(
+        "E10",
+        "end-to-end scenario matrix (event-driven runtime, virtual time)",
+    );
+    let mut matrix = scenarios::matrix(quick);
+    if let Some(name) = filter {
+        matrix.retain(|s| s.name == name);
+        assert!(
+            !matrix.is_empty(),
+            "unknown scenario {name:?}; known: {:?}",
+            scenarios::matrix(quick)
+                .iter()
+                .map(|s| s.name.clone())
+                .collect::<Vec<_>>()
+        );
+    }
+    println!(
+        "{:<16} {:>8} {:>9} {:>8} {:>8} {:>8} {:>7} {:>12} {:>12} {:>9}",
+        "scenario",
+        "requests",
+        "completed",
+        "dropped",
+        "groups",
+        "entries",
+        "alerts",
+        "e2e mean ms",
+        "commit p95",
+        "wall ms"
+    );
+    let mut rows = Vec::new();
+    for spec in &matrix {
+        let wall = Instant::now();
+        let (report, truth) = run_scenario(spec, &mut NoAdversary);
+        let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(truth.total_attacks(), 0, "scenario faults are not attacks");
+        let row = ScenarioRow {
+            name: spec.name.clone(),
+            requests: report.requests_issued,
+            completed: report.requests_completed,
+            dropped: report.requests_dropped,
+            groups_completed: report.groups_completed,
+            entries_logged: report.entries_logged,
+            alerts: report.alerts.len() as u64,
+            policy_activations: report.policy_activations,
+            e2e_mean_ms: report.e2e_latency.mean() / 1_000.0,
+            commit_p95_ms: report.log_commit_latency.percentile(95.0) as f64 / 1_000.0,
+            wall_ms,
+        };
+        println!(
+            "{:<16} {:>8} {:>9} {:>8} {:>8} {:>8} {:>7} {:>12.3} {:>12.1} {:>9.0}",
+            row.name,
+            row.requests,
+            row.completed,
+            row.dropped,
+            row.groups_completed,
+            row.entries_logged,
+            row.alerts,
+            row.e2e_mean_ms,
+            row.commit_p95_ms,
+            row.wall_ms
+        );
+        rows.push(row);
+    }
+    println!("\nshape: clean scenarios (steady, churn, policy-flip, per-cloud)");
+    println!("complete every group with zero alerts — legitimate churn is not");
+    println!("an attack; the degraded-LI fault surfaces as missing-observation");
+    println!("alerts; per-cloud PDPs cut the decision hop to the local link.");
+    rows
 }
 
 /// E8 — ablations of DRAMS design choices.

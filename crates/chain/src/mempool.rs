@@ -2,16 +2,28 @@
 
 use crate::error::ChainError;
 use crate::tx::{Transaction, TxId};
-use std::collections::HashSet;
+use drams_crypto::schnorr::PublicKey;
+use std::collections::{HashMap, VecDeque};
 
 /// A FIFO mempool with duplicate suppression.
 ///
 /// Ordering is arrival order, which combined with per-sender sequential
 /// nonces gives deterministic execution order within each block.
+///
+/// The queue is a `VecDeque` (taking the front of the pool no longer
+/// shifts every remaining transaction) and an id→sender index map backs
+/// O(1) membership checks and per-sender pending counts — the paths the
+/// Logging Interfaces hit on every submission and the miner on every
+/// block.
 #[derive(Debug, Default)]
 pub struct Mempool {
-    queue: Vec<Transaction>,
-    ids: HashSet<TxId>,
+    queue: VecDeque<Transaction>,
+    /// Pending tx id → sender. The map is the source of truth for
+    /// membership; the sender lets `prune` maintain the per-sender counts
+    /// without rescanning the queue.
+    index: HashMap<TxId, PublicKey>,
+    /// Pending transactions per sender (for nonce assignment).
+    by_sender: HashMap<PublicKey, usize>,
 }
 
 impl Mempool {
@@ -21,6 +33,26 @@ impl Mempool {
         Self::default()
     }
 
+    fn index_insert(&mut self, id: TxId, sender: PublicKey) -> bool {
+        if self.index.contains_key(&id) {
+            return false;
+        }
+        self.index.insert(id, sender);
+        *self.by_sender.entry(sender).or_insert(0) += 1;
+        true
+    }
+
+    fn index_remove(&mut self, id: &TxId) {
+        if let Some(sender) = self.index.remove(id) {
+            if let Some(count) = self.by_sender.get_mut(&sender) {
+                *count -= 1;
+                if *count == 0 {
+                    self.by_sender.remove(&sender);
+                }
+            }
+        }
+    }
+
     /// Adds a transaction.
     ///
     /// # Errors
@@ -28,10 +60,10 @@ impl Mempool {
     /// [`ChainError::DuplicateTransaction`] if the id is already pending.
     pub fn add(&mut self, tx: Transaction) -> Result<TxId, ChainError> {
         let id = tx.id();
-        if !self.ids.insert(id) {
+        if !self.index_insert(id, tx.sender) {
             return Err(ChainError::DuplicateTransaction);
         }
-        self.queue.push(tx);
+        self.queue.push_back(tx);
         Ok(id)
     }
 
@@ -40,7 +72,7 @@ impl Mempool {
         let n = n.min(self.queue.len());
         let taken: Vec<Transaction> = self.queue.drain(..n).collect();
         for tx in &taken {
-            self.ids.remove(&tx.id());
+            self.index_remove(&tx.id());
         }
         taken
     }
@@ -48,22 +80,27 @@ impl Mempool {
     /// Removes any pending transactions whose ids are in `included`
     /// (called after importing a block mined elsewhere).
     pub fn prune<'a>(&mut self, included: impl IntoIterator<Item = &'a TxId>) {
-        let included: HashSet<&TxId> = included.into_iter().collect();
-        self.queue.retain(|tx| !included.contains(&tx.id()));
-        self.ids.retain(|id| !included.contains(id));
+        let mut removed = false;
+        for id in included {
+            if self.index.contains_key(id) {
+                self.index_remove(id);
+                removed = true;
+            }
+        }
+        if removed {
+            let index = &self.index;
+            self.queue.retain(|tx| index.contains_key(&tx.id()));
+        }
     }
 
     /// Re-queues transactions (e.g. returned by an abandoned fork) at the
     /// front, preserving their relative order; duplicates are dropped.
     pub fn requeue_front(&mut self, txs: Vec<Transaction>) {
-        let mut front = Vec::new();
-        for tx in txs {
-            if self.ids.insert(tx.id()) {
-                front.push(tx);
+        for tx in txs.into_iter().rev() {
+            if self.index_insert(tx.id(), tx.sender) {
+                self.queue.push_front(tx);
             }
         }
-        front.append(&mut self.queue);
-        self.queue = front;
     }
 
     /// Number of pending transactions.
@@ -81,13 +118,13 @@ impl Mempool {
     /// Whether a transaction is pending.
     #[must_use]
     pub fn contains(&self, id: &TxId) -> bool {
-        self.ids.contains(id)
+        self.index.contains_key(id)
     }
 
     /// Pending transactions from `sender` (used for nonce assignment).
     #[must_use]
-    pub fn pending_from(&self, sender: &drams_crypto::schnorr::PublicKey) -> usize {
-        self.queue.iter().filter(|tx| tx.sender == *sender).count()
+    pub fn pending_from(&self, sender: &PublicKey) -> usize {
+        self.by_sender.get(sender).copied().unwrap_or(0)
     }
 }
 
@@ -98,6 +135,11 @@ mod tests {
 
     fn tx(nonce: u64) -> Transaction {
         let kp = Keypair::from_seed(b"mempool-tests");
+        Transaction::new_signed(&kp, nonce, "c", "m", vec![nonce as u8])
+    }
+
+    fn tx_from(seed: &[u8], nonce: u64) -> Transaction {
+        let kp = Keypair::from_seed(seed);
         Transaction::new_signed(&kp, nonce, "c", "m", vec![nonce as u8])
     }
 
@@ -157,5 +199,58 @@ mod tests {
         assert_eq!(pool.pending_from(&kp.public()), 2);
         let other = Keypair::from_seed(b"someone-else");
         assert_eq!(pool.pending_from(&other.public()), 0);
+    }
+
+    /// The id index and sender counts must stay consistent with the queue
+    /// across interleaved prune/requeue/take cycles.
+    #[test]
+    fn index_stays_consistent_across_prune_and_requeue() {
+        let mut pool = Mempool::new();
+        let a_txs: Vec<Transaction> = (0..4).map(|n| tx_from(b"sender-a", n)).collect();
+        let b_txs: Vec<Transaction> = (0..3).map(|n| tx_from(b"sender-b", n)).collect();
+        for tx in a_txs.iter().chain(&b_txs) {
+            pool.add(tx.clone()).unwrap();
+        }
+        let a = Keypair::from_seed(b"sender-a").public();
+        let b = Keypair::from_seed(b"sender-b").public();
+
+        let check = |pool: &Mempool, expect_a: usize, expect_b: usize| {
+            assert_eq!(pool.pending_from(&a), expect_a);
+            assert_eq!(pool.pending_from(&b), expect_b);
+            assert_eq!(pool.len(), expect_a + expect_b);
+            // every queued tx is indexed, and nothing else is
+            assert_eq!(pool.index.len(), pool.queue.len());
+            for tx in &pool.queue {
+                assert!(pool.contains(&tx.id()));
+            }
+        };
+        check(&pool, 4, 3);
+
+        // Prune one of each sender's transactions (as if mined elsewhere).
+        pool.prune([&a_txs[1].id(), &b_txs[0].id()]);
+        check(&pool, 3, 2);
+        assert!(!pool.contains(&a_txs[1].id()));
+
+        // Requeue an abandoned-fork mix: one pruned, one still pending
+        // (dropped as duplicate), one never seen.
+        pool.requeue_front(vec![
+            a_txs[1].clone(),
+            a_txs[2].clone(),
+            tx_from(b"sender-b", 9),
+        ]);
+        check(&pool, 4, 3);
+        let order: Vec<u64> = pool.queue.iter().map(|t| t.nonce).collect();
+        assert_eq!(
+            &order[..2],
+            &[1, 9],
+            "requeued txs sit at the front in order"
+        );
+
+        // Draining through take leaves an empty, consistent index.
+        let drained = pool.take(7);
+        assert_eq!(drained.len(), 7);
+        check(&pool, 0, 0);
+        assert!(pool.by_sender.is_empty());
+        assert!(pool.index.is_empty());
     }
 }

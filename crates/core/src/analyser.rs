@@ -97,9 +97,25 @@ impl Analyser {
         self.audited_txs
     }
 
-    /// Updates the authorised policy (legitimate policy administration).
+    /// Updates the authorised policy (legitimate policy administration),
+    /// forgetting all previously authorised versions.
     pub fn set_authorised_policy(&mut self, policy: PolicySet) {
         self.verifier.set_policy(policy);
+    }
+
+    /// Authorises a newly published (or rolled-back) policy version
+    /// activated at `now`, while keeping earlier versions authorised for
+    /// decisions taken before they were superseded — in-flight decisions
+    /// during legitimate policy churn do not raise false alerts, but a
+    /// PDP stuck on a retired version after `now` does.
+    pub fn publish_authorised_policy(&mut self, policy: PolicySet, now: SimTime) {
+        self.verifier.publish_policy(policy, now);
+    }
+
+    /// Registers the MAC key of a newly provisioned probe (tenant-join
+    /// churn: the key is obtained from the joining tenant's TPM).
+    pub fn register_probe_key(&mut self, probe: ProbeId, key: [u8; 32]) {
+        self.probe_mac_keys.insert(probe, key);
     }
 
     /// Consumes new `group.complete` events from `node`, verifies each
@@ -259,11 +275,13 @@ impl Analyser {
             return alerts;
         };
 
-        // The formally-grounded check: re-evaluate and compare.
-        match self.verifier.verify_versioned(
+        // The formally-grounded check: re-evaluate and compare, against
+        // the version that was authorised *when the decision was taken*.
+        match self.verifier.verify_versioned_at(
             &request_env.request,
             &response_env.response,
             response_env.policy_version,
+            response_env.decided_at,
         ) {
             Verdict::Consistent => {}
             Verdict::Violation(Violation::WrongPolicyVersion { claimed, expected }) => {

@@ -15,7 +15,12 @@
 //! * [`alert`] — the security-alert vocabulary.
 //! * [`tpm`] — the simulated Trusted Platform Module of §III.
 //! * [`adversary`] — attack hooks (implemented by `drams-attack`).
-//! * [`monitor`] — the end-to-end virtual-time simulation of Figure 1.
+//! * [`monitor`] — configuration, report and ground truth of the
+//!   end-to-end virtual-time simulation of Figure 1.
+//! * [`scenario`] — the event-driven scenario runtime: the simulation
+//!   decomposed into services, plus the declarative [`ScenarioSpec`]
+//!   layer (phased load, multi-PDP placement, policy churn, tenant
+//!   join/leave, fault windows).
 //!
 //! # Example: a full monitored federation run
 //!
@@ -41,6 +46,7 @@ pub mod li;
 pub mod logent;
 pub mod monitor;
 pub mod probe;
+pub mod scenario;
 pub mod tpm;
 
 pub use adversary::{Adversary, NoAdversary};
@@ -51,4 +57,5 @@ pub use li::LoggingInterface;
 pub use logent::{LogEntry, ObservationPoint, ProbeId};
 pub use monitor::{run_monitor, GroundTruth, MonitorConfig, MonitorReport};
 pub use probe::Probe;
+pub use scenario::{run_scenario, PdpPlacement, Phase, ScenarioSpec, ScriptedAction};
 pub use tpm::{Quote, Tpm, TpmError};

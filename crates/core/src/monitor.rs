@@ -1,5 +1,4 @@
-//! End-to-end DRAMS simulation: the full Figure-1 deployment in virtual
-//! time.
+//! End-to-end DRAMS simulation: configuration, report and ground truth.
 //!
 //! One run wires together: a workload generator issuing access requests
 //! across the federation's tenants; PEPs intercepting and enforcing; the
@@ -11,6 +10,15 @@
 //! interception point, and the run returns both the monitor's alerts and
 //! the exact ground truth, so experiments can score detection precisely.
 //!
+//! The simulation itself lives in [`crate::scenario`]: an event-driven
+//! runtime of [`drams_faas::des::SimService`]s. [`run_monitor`] is the
+//! compatibility entry point — it runs the *canonical scenario*, which
+//! reproduces the classic fixed-topology single-PDP deployment exactly.
+//! Richer deployments (multi-PDP federations, phased load, policy churn,
+//! tenant join/leave, fault windows) are declared as
+//! [`crate::scenario::ScenarioSpec`]s and run through
+//! [`crate::scenario::run_scenario`].
+//!
 //! **Modelling note.** Inside virtual time the chain runs at difficulty 0
 //! with a configurable block cadence: wall-clock hashing cannot meaningfully
 //! mix with virtual time. The real hashing cost of PoW as a function of
@@ -19,27 +27,13 @@
 
 use crate::adversary::Adversary;
 use crate::alert::Alert;
-use crate::analyser::Analyser;
-use crate::contract::{MonitorContract, GROUP_COMPLETE_EVENT, MONITOR_CONTRACT};
-use crate::li::LoggingInterface;
-use crate::logent::{LogEntry, ObservationPoint, ProbeId};
-use crate::probe::Probe;
-use drams_chain::chain::ChainConfig;
-use drams_chain::node::Node;
-use drams_chain::tx::TxId;
-use drams_crypto::aead::SymmetricKey;
-use drams_crypto::codec::Decode;
-use drams_crypto::schnorr::Keypair;
-use drams_faas::des::{EventQueue, LatencyStats, SimTime, MILLIS, SECONDS};
+use crate::logent::ObservationPoint;
+use crate::scenario::{run_scenario, ScenarioSpec};
+use drams_faas::des::{LatencyStats, SimTime, MILLIS, SECONDS};
 use drams_faas::model::FederationSpec;
-use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
-use drams_faas::pep::{EnforcementBias, Pep};
-use drams_faas::prp::Prp;
-use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary};
+use drams_faas::msg::CorrelationId;
+use drams_faas::pep::EnforcementBias;
 use drams_policy::policy::PolicySet;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-use std::collections::{BTreeMap, HashMap};
 
 /// Configuration of one monitor simulation run.
 #[derive(Debug, Clone)]
@@ -73,7 +67,9 @@ pub struct MonitorConfig {
     pub monitoring_enabled: bool,
     /// Whether the Analyser runs (contract checks alone otherwise).
     pub analyser_enabled: bool,
-    /// RNG seed; runs are deterministic per seed.
+    /// Master RNG seed; runs are deterministic per seed. Each simulation
+    /// component draws from its own named stream derived from this seed
+    /// (see [`crate::scenario::stream_rng`]).
     pub seed: u64,
 }
 
@@ -149,7 +145,7 @@ pub fn default_policy() -> PolicySet {
 }
 
 /// Ground truth of what the adversary actually did during a run.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct GroundTruth {
     /// Requests tampered on the PEP→PDP wire.
     pub tampered_requests: Vec<CorrelationId>,
@@ -187,6 +183,9 @@ pub struct MonitorReport {
     pub requests_issued: u64,
     /// Requests whose response reached enforcement.
     pub requests_completed: u64,
+    /// Requests swallowed by a silenced PDP (scenario fault windows);
+    /// always 0 in the canonical scenario.
+    pub requests_dropped: u64,
     /// Accesses actually granted / refused.
     pub granted: u64,
     /// See [`MonitorReport::granted`].
@@ -209,6 +208,8 @@ pub struct MonitorReport {
     pub groups_completed: u64,
     /// Log entries committed on-chain.
     pub entries_logged: u64,
+    /// Policy versions activated over the run (1 = no churn).
+    pub policy_activations: u64,
     /// Virtual time at which the run ended.
     pub finished_at: SimTime,
 }
@@ -221,17 +222,9 @@ impl MonitorReport {
     }
 }
 
-enum Ev {
-    Arrival,
-    PdpReceive(RequestEnvelope),
-    PepReceive(ResponseEnvelope),
-    LiDeliver { li: usize, entry: LogEntry },
-    LiFlushTick { li: usize },
-    MineTick,
-    AnalyserTick,
-}
-
-/// Runs one full simulation.
+/// Runs one full simulation of the classic fixed-topology deployment —
+/// the canonical scenario of the event-driven runtime (see
+/// [`crate::scenario`]).
 ///
 /// # Panics
 ///
@@ -241,402 +234,7 @@ pub fn run_monitor<A: Adversary>(
     config: &MonitorConfig,
     adversary: &mut A,
 ) -> (MonitorReport, GroundTruth) {
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut queue: EventQueue<Ev> = EventQueue::new();
-    let mut report = MonitorReport::default();
-    let mut truth = GroundTruth::default();
-
-    // --- access control plane -------------------------------------------
-    let tenant_count = config.federation.tenant_count().max(1);
-    let mut peps: Vec<Pep> = config
-        .federation
-        .tenants
-        .iter()
-        .map(|t| Pep::new(t.pep, t.id, config.bias))
-        .collect();
-    let authorised = config.policy.clone();
-    let active_policy = match adversary.swap_policy(&authorised) {
-        Some(swapped) => {
-            truth.policy_swapped = true;
-            swapped
-        }
-        None => authorised.clone(),
-    };
-    // The PRP stores (and pre-compiles) the policy the PDP actually
-    // serves — deliberately the *active* policy, not the authorised one:
-    // the paper's swap-policy threat is an unauthorised substitution at
-    // the PRP, and the Analyser detects it from its own independent
-    // authorised copy. Building the PDP from the active version's
-    // prepared form means the decision path runs the compiled engine
-    // with its decision cache from the start.
-    let prp = Prp::new(active_policy);
-    let pdp = prp.active().pdp();
-
-    // --- monitoring plane -------------------------------------------------
-    let key = SymmetricKey::from_bytes([42; 32]);
-    let mut probe_mac_keys: BTreeMap<ProbeId, [u8; 32]> = BTreeMap::new();
-    let mut pep_probes: Vec<Probe> = (0..tenant_count)
-        .map(|i| {
-            let id = ProbeId(i as u32 + 1);
-            let mac = mac_key_for(id);
-            probe_mac_keys.insert(id, mac);
-            Probe::new(id, key.clone(), mac)
-        })
-        .collect();
-    let pdp_probe_id = ProbeId(0);
-    let pdp_mac = mac_key_for(pdp_probe_id);
-    probe_mac_keys.insert(pdp_probe_id, pdp_mac);
-    let mut pdp_probe = Probe::new(pdp_probe_id, key.clone(), pdp_mac);
-
-    // One LI per member tenant + one in the infrastructure tenant.
-    let li_count = tenant_count + 1;
-    let infra_li = tenant_count;
-    let mut lis: Vec<LoggingInterface> = (0..li_count)
-        .map(|i| {
-            LoggingInterface::new(
-                format!("li-{i}"),
-                key.clone(),
-                Keypair::from_seed(format!("li-{i}").as_bytes()),
-                config.li_batch_size,
-            )
-        })
-        .collect();
-    // Pending observation timestamps per LI, mapped to tx ids at submit.
-    let mut li_pending: Vec<Vec<SimTime>> = vec![Vec::new(); li_count];
-    let mut tx_entry_times: HashMap<TxId, Vec<SimTime>> = HashMap::new();
-
-    // --- chain -------------------------------------------------------------
-    let admin = Keypair::from_seed(b"drams-admin");
-    let analyser_kp = Keypair::from_seed(b"drams-analyser");
-    let mut node = Node::new(ChainConfig {
-        initial_difficulty_bits: 0,
-        retarget_interval: 0,
-        max_block_txs: 4096,
-        ..ChainConfig::default()
-    });
-    node.register_contract(Box::new(MonitorContract));
-    if config.monitoring_enabled {
-        node.submit_call(
-            &admin,
-            MONITOR_CONTRACT,
-            "init",
-            MonitorContract::init_payload(config.group_timeout, analyser_kp.public().fingerprint()),
-        )
-        .expect("init submission");
-        node.mine_block(0).expect("genesis follow-up");
-    }
-    let mut event_cursor = node.events().len();
-    let mut analyser = Analyser::new(authorised, key.clone(), analyser_kp, probe_mac_keys);
-
-    // --- workload ----------------------------------------------------------
-    let arrivals = PoissonArrivals::with_rate_per_sec(config.request_rate_per_sec);
-    let mut generator = RequestGenerator::new(Vocabulary::default(), 1.1, config.seed ^ 0x9e37);
-    let mut issued_at_by_corr: HashMap<CorrelationId, SimTime> = HashMap::new();
-    let mut drain_until: Option<SimTime> = None;
-
-    // --- initial events ------------------------------------------------------
-    queue.schedule(arrivals.next_gap(&mut rng), Ev::Arrival);
-    if config.monitoring_enabled {
-        queue.schedule(config.block_interval, Ev::MineTick);
-        for li in 0..li_count {
-            queue.schedule(config.li_flush_interval, Ev::LiFlushTick { li });
-        }
-        if config.analyser_enabled {
-            queue.schedule(config.analyser_poll_interval, Ev::AnalyserTick);
-        }
-    }
-
-    // --- main loop -----------------------------------------------------------
-    while let Some((now, ev)) = queue.pop() {
-        if now > config.horizon {
-            break;
-        }
-        if let Some(deadline) = drain_until {
-            if now > deadline {
-                break;
-            }
-        }
-        match ev {
-            Ev::Arrival => {
-                if report.requests_issued >= config.total_requests {
-                    // workload exhausted; nothing to reschedule
-                } else {
-                    report.requests_issued += 1;
-                    let tenant_idx = rng.gen_range(0..tenant_count);
-                    let tenant = &config.federation.tenants[tenant_idx];
-                    let service =
-                        tenant.services[rng.gen_range(0..tenant.services.len().max(1))].clone();
-                    let request = generator.next_request();
-                    let mut env = peps[tenant_idx].intercept(service, request, now);
-                    issued_at_by_corr.insert(env.correlation, now);
-
-                    if config.monitoring_enabled {
-                        let entry = pep_probes[tenant_idx].observe_request(
-                            ObservationPoint::PepRequest,
-                            &env,
-                            now,
-                        );
-                        deliver_to_li(
-                            &mut queue,
-                            &config.federation,
-                            &mut rng,
-                            adversary,
-                            &mut truth,
-                            tenant_idx,
-                            entry,
-                            now,
-                        );
-                    }
-                    if adversary.tamper_request_in_transit(&mut env, now) {
-                        truth.tampered_requests.push(env.correlation);
-                    }
-                    let latency = config.federation.tenant_to_infra.sample(&mut rng);
-                    queue.schedule(latency, Ev::PdpReceive(env));
-
-                    if report.requests_issued < config.total_requests {
-                        queue.schedule(arrivals.next_gap(&mut rng), Ev::Arrival);
-                    } else {
-                        drain_until = Some(
-                            now + config.group_timeout
-                                + 6 * config.block_interval
-                                + 4 * config.analyser_poll_interval
-                                + SECONDS,
-                        );
-                    }
-                }
-            }
-            Ev::PdpReceive(env) => {
-                if config.monitoring_enabled {
-                    let entry = pdp_probe.observe_request(ObservationPoint::PdpRequest, &env, now);
-                    deliver_to_li_infra(
-                        &mut queue,
-                        &config.federation,
-                        &mut rng,
-                        adversary,
-                        &mut truth,
-                        infra_li,
-                        entry,
-                        now,
-                    );
-                }
-                let response = pdp.evaluate(&env.request);
-                let mut resp_env = ResponseEnvelope {
-                    correlation: env.correlation,
-                    pep: env.pep,
-                    response,
-                    policy_version: pdp.policy_version(),
-                    decided_at: now,
-                };
-                if adversary.corrupt_pdp_decision(&mut resp_env, now) {
-                    truth.corrupted_decisions.push(resp_env.correlation);
-                }
-                if config.monitoring_enabled {
-                    let entry = pdp_probe.observe_pdp_response(&resp_env, now);
-                    deliver_to_li_infra(
-                        &mut queue,
-                        &config.federation,
-                        &mut rng,
-                        adversary,
-                        &mut truth,
-                        infra_li,
-                        entry,
-                        now,
-                    );
-                }
-                if adversary.tamper_response_in_transit(&mut resp_env, now) {
-                    truth.tampered_responses.push(resp_env.correlation);
-                }
-                let latency = config.federation.tenant_to_infra.sample(&mut rng);
-                queue.schedule(latency, Ev::PepReceive(resp_env));
-            }
-            Ev::PepReceive(env) => {
-                let Some(tenant_idx) = peps.iter().position(|p| p.id() == env.pep) else {
-                    continue;
-                };
-                let Some(enforcement) = peps[tenant_idx].enforce(&env) else {
-                    continue;
-                };
-                let mut granted = enforcement.granted;
-                if adversary.flip_enforcement(&mut granted, now) {
-                    truth.flipped_enforcements.push(env.correlation);
-                }
-                report.requests_completed += 1;
-                if granted {
-                    report.granted += 1;
-                } else {
-                    report.refused += 1;
-                }
-                if let Some(issued) = issued_at_by_corr.get(&env.correlation) {
-                    report.e2e_latency.record(now - issued);
-                }
-                if config.monitoring_enabled {
-                    let entry = pep_probes[tenant_idx].observe_pep_response(&env, granted, now);
-                    deliver_to_li(
-                        &mut queue,
-                        &config.federation,
-                        &mut rng,
-                        adversary,
-                        &mut truth,
-                        tenant_idx,
-                        entry,
-                        now,
-                    );
-                }
-            }
-            Ev::LiDeliver { li, entry } => {
-                li_pending[li].push(entry.observed_at);
-                let ids = lis[li].store(entry, &mut node).expect("li submission");
-                assign_tx_times(&mut li_pending[li], &ids, &mut tx_entry_times);
-                report.max_mempool = report.max_mempool.max(node.mempool_len());
-            }
-            Ev::LiFlushTick { li } => {
-                let ids = lis[li].flush(&mut node).expect("li flush");
-                assign_tx_times(&mut li_pending[li], &ids, &mut tx_entry_times);
-                report.max_mempool = report.max_mempool.max(node.mempool_len());
-                if should_tick(&drain_until, now) {
-                    queue.schedule(config.li_flush_interval, Ev::LiFlushTick { li });
-                }
-            }
-            Ev::MineTick => {
-                let next_height = node.chain().tip_header().height + 1;
-                if config.epoch_blocks > 0 && next_height % config.epoch_blocks == 0 {
-                    node.submit_call(&admin, MONITOR_CONTRACT, "advance_epoch", vec![])
-                        .expect("epoch submission");
-                }
-                report.max_mempool = report.max_mempool.max(node.mempool_len());
-                let block = node.mine_block(now).expect("mining");
-                report.blocks_mined += 1;
-                report.txs_committed += block.transactions.len() as u64;
-                for tx in &block.transactions {
-                    if let Some(times) = tx_entry_times.remove(&tx.id()) {
-                        for t in times {
-                            report.log_commit_latency.record(now.saturating_sub(t));
-                            report.entries_logged += 1;
-                        }
-                    }
-                }
-                // Harvest newly committed contract events.
-                let (events, cursor) = node.events_since(event_cursor);
-                let new_alerts: Vec<Alert> = events
-                    .iter()
-                    .filter(|e| e.name.starts_with("alert."))
-                    .filter_map(|e| Alert::from_canonical_bytes(&e.data).ok())
-                    .collect();
-                report.groups_completed += events
-                    .iter()
-                    .filter(|e| e.name == GROUP_COMPLETE_EVENT)
-                    .count() as u64;
-                event_cursor = cursor;
-                for mut alert in new_alerts {
-                    if let Some(issued) = issued_at_by_corr.get(&alert.correlation) {
-                        report.detection_latency.record(now.saturating_sub(*issued));
-                    }
-                    // Detection time on the wall: when the block carrying
-                    // the alert was committed.
-                    alert.detected_at = now;
-                    report.alerts.push(alert);
-                }
-                if should_tick(&drain_until, now) {
-                    queue.schedule(config.block_interval, Ev::MineTick);
-                }
-            }
-            Ev::AnalyserTick => {
-                let _ = analyser.poll(&mut node, now);
-                if should_tick(&drain_until, now) {
-                    queue.schedule(config.analyser_poll_interval, Ev::AnalyserTick);
-                }
-            }
-        }
-        report.finished_at = now;
-    }
-
-    (report, truth)
-}
-
-fn should_tick(drain_until: &Option<SimTime>, now: SimTime) -> bool {
-    match drain_until {
-        None => true,
-        Some(deadline) => now <= *deadline,
-    }
-}
-
-fn mac_key_for(id: ProbeId) -> [u8; 32] {
-    *drams_crypto::sha256::Digest::of_parts(&[b"probe-mac", &id.0.to_be_bytes()]).as_bytes()
-}
-
-#[allow(clippy::too_many_arguments)]
-fn deliver_to_li<A: Adversary>(
-    queue: &mut EventQueue<Ev>,
-    federation: &FederationSpec,
-    rng: &mut StdRng,
-    adversary: &mut A,
-    truth: &mut GroundTruth,
-    tenant_idx: usize,
-    mut entry: LogEntry,
-    now: SimTime,
-) {
-    if adversary.drop_log(&entry, now) {
-        truth.dropped_logs.push((entry.correlation, entry.point));
-        return;
-    }
-    if adversary.tamper_log(&mut entry, now) {
-        truth.tampered_logs.push((entry.correlation, entry.point));
-    }
-    let latency = federation.to_logging_interface.sample(rng);
-    queue.schedule(
-        latency,
-        Ev::LiDeliver {
-            li: tenant_idx,
-            entry,
-        },
-    );
-}
-
-#[allow(clippy::too_many_arguments)]
-fn deliver_to_li_infra<A: Adversary>(
-    queue: &mut EventQueue<Ev>,
-    federation: &FederationSpec,
-    rng: &mut StdRng,
-    adversary: &mut A,
-    truth: &mut GroundTruth,
-    infra_li: usize,
-    mut entry: LogEntry,
-    now: SimTime,
-) {
-    if adversary.drop_log(&entry, now) {
-        truth.dropped_logs.push((entry.correlation, entry.point));
-        return;
-    }
-    if adversary.tamper_log(&mut entry, now) {
-        truth.tampered_logs.push((entry.correlation, entry.point));
-    }
-    let latency = federation.to_logging_interface.sample(rng);
-    queue.schedule(
-        latency,
-        Ev::LiDeliver {
-            li: infra_li,
-            entry,
-        },
-    );
-}
-
-fn assign_tx_times(
-    pending: &mut Vec<SimTime>,
-    ids: &[TxId],
-    tx_entry_times: &mut HashMap<TxId, Vec<SimTime>>,
-) {
-    if ids.is_empty() || pending.is_empty() {
-        return;
-    }
-    if ids.len() == 1 {
-        tx_entry_times.entry(ids[0]).or_default().append(pending);
-    } else {
-        // one tx per entry, in order
-        for (id, t) in ids.iter().zip(pending.drain(..)) {
-            tx_entry_times.entry(*id).or_default().push(t);
-        }
-        pending.clear();
-    }
+    run_scenario(&ScenarioSpec::canonical(config), adversary)
 }
 
 #[cfg(test)]

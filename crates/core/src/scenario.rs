@@ -1,0 +1,1527 @@
+//! The event-driven scenario runtime: Figure 1 as a graph of services.
+//!
+//! The monolithic monitor loop is decomposed into actor-style
+//! [`SimService`]s on the deterministic DES
+//! ([`drams_faas::des::ServiceRuntime`]): a workload source, the PEPs
+//! with their probes, one-or-more PDPs (central in the infrastructure
+//! tenant, or one per member cloud), the per-tenant Logging Interfaces,
+//! the chain node with its contract sweep, the Analyser, and a scenario
+//! controller. Services share nothing but the simulation context
+//! ([`measurement sinks`](crate::monitor::MonitorReport) and the chain
+//! substrate); everything between them travels as a typed scheduled
+//! event ([`Msg`]).
+//!
+//! On top of the services sits the declarative [`ScenarioSpec`] layer:
+//! phased arrival rates, mid-run policy publication/rollback through the
+//! PRP, tenant join/leave churn, per-cloud PDP placement and scripted
+//! fault windows (a stalled LI, a silent PDP). The canonical scenario —
+//! no phases, central PDP, empty script — reproduces the classic
+//! [`run_monitor`](crate::monitor::run_monitor) deployment exactly.
+//!
+//! # Event taxonomy (service graph)
+//!
+//! ```text
+//! Workload --Intercept--> PEPs --PdpReceive--> PDPs
+//!    ^                     ^  \                 |  \
+//!    |          PepReceive-+   +--LiDeliver--+  |   +--LiDeliver--+
+//!  Arrival                                   v  v                 v
+//! Controller --Script/Activate...-->       LIs --(chain submit)--> [node]
+//!     |\--PolicyAdmin/SilencePdp--> PDPs    ^
+//!     |\--StallLi/ProvisionLi-----> LIs     +--LiFlushTick (self)
+//!     |\--ProvisionPep------------> PEPs
+//!      \--ProvisionProbeKey/AnalyserPolicy--> Analyser --AnalyserTick (self)
+//! Chain --MineTick (self)--> [mines, sweeps epochs, harvests alerts]
+//! ```
+
+use crate::adversary::Adversary;
+use crate::alert::Alert;
+use crate::analyser::Analyser;
+use crate::contract::{MonitorContract, GROUP_COMPLETE_EVENT, MONITOR_CONTRACT};
+use crate::li::LoggingInterface;
+use crate::logent::{LogEntry, ObservationPoint, ProbeId};
+use crate::monitor::{GroundTruth, MonitorConfig, MonitorReport};
+use crate::probe::Probe;
+use drams_chain::chain::ChainConfig;
+use drams_chain::node::Node;
+use drams_chain::tx::TxId;
+use drams_crypto::aead::SymmetricKey;
+use drams_crypto::codec::Decode;
+use drams_crypto::schnorr::Keypair;
+use drams_crypto::sha256::Digest;
+use drams_faas::des::{Outbox, ServiceRuntime, SimService, SimTime, SECONDS};
+use drams_faas::model::{CloudId, LatencyModel, TenantId, TenantSpec};
+use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
+use drams_faas::pep::Pep;
+use drams_faas::prp::Prp;
+use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary};
+use drams_policy::attr::Request;
+use drams_policy::policy::PolicySet;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Probe ids `>= PDP_PROBE_BASE` belong to per-cloud PDP probes; member
+/// PEP probes count up from 1 and the central PDP probe is 0, as in the
+/// classic deployment.
+pub const PDP_PROBE_BASE: u32 = 0x8000_0000;
+
+// ---------------------------------------------------------------------------
+// Named RNG streams
+// ---------------------------------------------------------------------------
+
+/// Derives a named, independent RNG stream from the master seed.
+///
+/// Each simulation component draws from its own stream, so adding a
+/// scenario component (or making one draw more often) no longer perturbs
+/// every other component's sequence — scenarios stay comparable across
+/// variations.
+#[must_use]
+pub fn stream_rng(master_seed: u64, name: &str) -> StdRng {
+    let digest = Digest::of_parts(&[
+        b"drams-rng-stream",
+        &master_seed.to_be_bytes(),
+        name.as_bytes(),
+    ]);
+    let mut word = [0u8; 8];
+    word.copy_from_slice(&digest.as_bytes()[..8]);
+    StdRng::seed_from_u64(u64::from_be_bytes(word))
+}
+
+/// The per-component streams of one run.
+#[derive(Debug)]
+pub struct RngStreams {
+    /// Arrival gaps, tenant/service selection (the request generator has
+    /// its own seed, as before).
+    pub workload: StdRng,
+    /// Network link latency sampling.
+    pub net: StdRng,
+    /// Churn timing jitter (tenant join settle time).
+    pub churn: StdRng,
+}
+
+impl RngStreams {
+    /// Builds all streams from the master seed.
+    #[must_use]
+    pub fn new(master_seed: u64) -> Self {
+        RngStreams {
+            workload: stream_rng(master_seed, "workload"),
+            net: stream_rng(master_seed, "net"),
+            churn: stream_rng(master_seed, "churn"),
+        }
+    }
+}
+
+/// The MAC key a probe obtains from its tenant TPM at provisioning time
+/// (deterministic per probe id, so the Analyser can be provisioned with
+/// the same key).
+#[must_use]
+pub fn probe_mac_key(id: ProbeId) -> [u8; 32] {
+    *Digest::of_parts(&[b"probe-mac", &id.0.to_be_bytes()]).as_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Scenario specification
+// ---------------------------------------------------------------------------
+
+/// One workload phase: from `start`, requests arrive at `rate_per_sec`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Phase {
+    /// Virtual time the phase begins.
+    pub start: SimTime,
+    /// Poisson arrival rate while the phase is active.
+    pub rate_per_sec: f64,
+}
+
+/// Where access decisions are taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PdpPlacement {
+    /// One PDP in the infrastructure tenant (the classic deployment);
+    /// PEPs reach it over the federation link.
+    Central,
+    /// One PDP per member cloud (the paper's Figure-1 federation:
+    /// decisions are taken where the requests originate); PEPs reach
+    /// their cloud's PDP over the local link.
+    PerCloud,
+}
+
+/// A scripted, virtually-timed scenario action.
+#[derive(Debug, Clone)]
+pub enum ScriptedAction {
+    /// Legitimate policy administration: publish a new version through
+    /// the PRP; every PDP switches to it and the Analyser authorises it.
+    PublishPolicy {
+        /// When to publish.
+        at: SimTime,
+        /// The new policy.
+        policy: PolicySet,
+    },
+    /// Legitimate rollback: re-activate a previously published version.
+    RollbackPolicy {
+        /// When to roll back.
+        at: SimTime,
+        /// The PRP version number to restore (0 = initial).
+        version: u64,
+    },
+    /// A new tenant joins a member cloud: PEP, probe and LI are
+    /// provisioned, the Analyser learns the probe key, then the workload
+    /// starts routing requests to it.
+    TenantJoin {
+        /// When the join begins.
+        at: SimTime,
+        /// The cloud the tenant joins.
+        cloud: CloudId,
+        /// Services hosted by the new tenant.
+        services: u32,
+    },
+    /// A tenant leaves gracefully: the workload stops targeting it
+    /// immediately; its PEP and LI stay alive to drain in-flight work.
+    TenantLeave {
+        /// When the leave takes effect.
+        at: SimTime,
+        /// The departing tenant.
+        tenant: TenantId,
+    },
+    /// Fault window: the tenant's Logging Interface stops submitting;
+    /// observations buffer and drain when the window closes.
+    StallLi {
+        /// Window start.
+        at: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// Whose LI ([`TenantId::INFRASTRUCTURE`] = the infra LI).
+        tenant: TenantId,
+    },
+    /// Fault window: a PDP goes silent — requests routed to it are
+    /// neither observed nor answered.
+    SilencePdp {
+        /// Window start.
+        at: SimTime,
+        /// Window end.
+        until: SimTime,
+        /// Which cloud's PDP (any value selects the central PDP under
+        /// [`PdpPlacement::Central`]).
+        cloud: CloudId,
+    },
+}
+
+impl ScriptedAction {
+    /// The virtual time the action fires.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            ScriptedAction::PublishPolicy { at, .. }
+            | ScriptedAction::RollbackPolicy { at, .. }
+            | ScriptedAction::TenantJoin { at, .. }
+            | ScriptedAction::TenantLeave { at, .. }
+            | ScriptedAction::StallLi { at, .. }
+            | ScriptedAction::SilencePdp { at, .. } => *at,
+        }
+    }
+}
+
+/// A declarative end-to-end scenario: base deployment knobs plus phased
+/// load, PDP placement and a script of timed actions.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario name (tables, trajectory files).
+    pub name: String,
+    /// The base deployment knobs.
+    pub config: MonitorConfig,
+    /// Workload phases, sorted by start time. Empty = constant
+    /// `config.request_rate_per_sec`.
+    pub phases: Vec<Phase>,
+    /// Where decisions are taken.
+    pub placement: PdpPlacement,
+    /// Timed scenario actions.
+    pub script: Vec<ScriptedAction>,
+}
+
+impl ScenarioSpec {
+    /// The canonical scenario: exactly the classic fixed-topology
+    /// single-PDP run of [`crate::monitor::run_monitor`].
+    #[must_use]
+    pub fn canonical(config: &MonitorConfig) -> Self {
+        ScenarioSpec {
+            name: "canonical".to_string(),
+            config: config.clone(),
+            phases: Vec::new(),
+            placement: PdpPlacement::Central,
+            script: Vec::new(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Events
+// ---------------------------------------------------------------------------
+
+/// Policy-administration actions routed to the PDP service (which owns
+/// the PRP).
+#[derive(Debug)]
+enum PolicyAdmin {
+    Publish(PolicySet),
+    Rollback(u64),
+}
+
+/// The typed events on the wire between services.
+#[derive(Debug)]
+enum Msg {
+    // → workload source
+    Arrival,
+    // → PEP service
+    Intercept {
+        tenant: usize,
+        service: String,
+        request: Request,
+    },
+    PepReceive(ResponseEnvelope),
+    ProvisionPep {
+        tenant: usize,
+    },
+    // → PDP service
+    PdpReceive {
+        slot: usize,
+        env: RequestEnvelope,
+    },
+    PolicyAdmin(PolicyAdmin),
+    SilencePdp {
+        slot: usize,
+        until: SimTime,
+    },
+    // → LI service
+    LiDeliver {
+        li: usize,
+        entry: LogEntry,
+    },
+    LiFlushTick {
+        li: usize,
+    },
+    StallLi {
+        li: usize,
+        until: SimTime,
+    },
+    ProvisionLi {
+        li: usize,
+    },
+    // → chain service
+    MineTick,
+    // → analyser service
+    AnalyserTick,
+    AnalyserPolicy(PolicySet),
+    ProvisionProbeKey {
+        probe: ProbeId,
+    },
+    // → scenario controller
+    Script(usize),
+    ActivateTenant {
+        tenant: usize,
+    },
+}
+
+// Service registration indices; the router below is the service graph's
+// address table.
+const SVC_WORKLOAD: usize = 0;
+const SVC_PEP: usize = 1;
+const SVC_PDP: usize = 2;
+const SVC_LI: usize = 3;
+const SVC_CHAIN: usize = 4;
+const SVC_ANALYSER: usize = 5;
+const SVC_CONTROLLER: usize = 6;
+
+fn route(msg: &Msg) -> usize {
+    match msg {
+        Msg::Arrival => SVC_WORKLOAD,
+        Msg::Intercept { .. } | Msg::PepReceive(_) | Msg::ProvisionPep { .. } => SVC_PEP,
+        Msg::PdpReceive { .. } | Msg::PolicyAdmin(_) | Msg::SilencePdp { .. } => SVC_PDP,
+        Msg::LiDeliver { .. }
+        | Msg::LiFlushTick { .. }
+        | Msg::StallLi { .. }
+        | Msg::ProvisionLi { .. } => SVC_LI,
+        Msg::MineTick => SVC_CHAIN,
+        Msg::AnalyserTick | Msg::AnalyserPolicy(_) | Msg::ProvisionProbeKey { .. } => SVC_ANALYSER,
+        Msg::Script(_) | Msg::ActivateTenant { .. } => SVC_CONTROLLER,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared context
+// ---------------------------------------------------------------------------
+
+/// One tenant's runtime state.
+#[derive(Debug)]
+struct TenantRuntime {
+    spec: TenantSpec,
+    active: bool,
+    /// Set on `TenantLeave`; a pending activation (join settle time)
+    /// must not resurrect a tenant that departed in the meantime.
+    departed: bool,
+}
+
+/// The shared simulation context: measurement sinks, ground truth, the
+/// chain substrate and the routing tables that the controller maintains.
+struct Ctx<'a> {
+    node: Node,
+    report: MonitorReport,
+    truth: GroundTruth,
+    adversary: &'a mut dyn Adversary,
+    rngs: RngStreams,
+    monitoring: bool,
+    /// Link latency models (from the federation spec).
+    to_li: LatencyModel,
+    pep_pdp: LatencyModel,
+    tenants: Vec<TenantRuntime>,
+    /// Indices into `tenants` the workload currently targets.
+    active_tenants: Vec<usize>,
+    /// Tenant index → LI index.
+    li_of_tenant: Vec<usize>,
+    /// Tenant index → PDP slot.
+    pdp_slot_of_tenant: Vec<usize>,
+    /// Cloud id → PDP slot (all clouds map to slot 0 under central
+    /// placement).
+    pdp_slot_of_cloud: BTreeMap<u32, usize>,
+    issued_at_by_corr: HashMap<CorrelationId, SimTime>,
+    tx_entry_times: HashMap<TxId, Vec<SimTime>>,
+}
+
+impl Ctx<'_> {
+    /// Applies the adversary's log-plane hooks and, if the entry
+    /// survives, schedules its delivery to `li`.
+    fn deliver_to_li(
+        &mut self,
+        out: &mut Outbox<Msg>,
+        li: usize,
+        mut entry: LogEntry,
+        now: SimTime,
+    ) {
+        if self.adversary.drop_log(&entry, now) {
+            self.truth
+                .dropped_logs
+                .push((entry.correlation, entry.point));
+            return;
+        }
+        if self.adversary.tamper_log(&mut entry, now) {
+            self.truth
+                .tampered_logs
+                .push((entry.correlation, entry.point));
+        }
+        let latency = self.to_li.sample(&mut self.rngs.net);
+        out.emit(latency, Msg::LiDeliver { li, entry });
+    }
+}
+
+fn assign_tx_times(
+    pending: &mut Vec<SimTime>,
+    ids: &[TxId],
+    tx_entry_times: &mut HashMap<TxId, Vec<SimTime>>,
+) {
+    if ids.is_empty() || pending.is_empty() {
+        return;
+    }
+    if ids.len() == 1 {
+        tx_entry_times.entry(ids[0]).or_default().append(pending);
+    } else {
+        // one tx per entry, in order
+        for (id, t) in ids.iter().zip(pending.drain(..)) {
+            tx_entry_times.entry(*id).or_default().push(t);
+        }
+        pending.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Services
+// ---------------------------------------------------------------------------
+
+/// Issues the Poisson workload, phase by phase, and declares the drain
+/// deadline when the request budget is exhausted.
+struct WorkloadSource {
+    total_requests: u64,
+    base_rate: f64,
+    phases: Vec<Phase>,
+    generator: RequestGenerator,
+    /// Latest scripted `TenantJoin` time, if any: while one is still
+    /// ahead, an empty tenant set may refill and the source keeps
+    /// idling; with none ahead it declares the drain instead of
+    /// grinding to the horizon.
+    last_join_at: Option<SimTime>,
+    // drain-deadline margin inputs
+    group_timeout: SimTime,
+    block_interval: SimTime,
+    analyser_poll_interval: SimTime,
+}
+
+impl WorkloadSource {
+    fn rate_at(&self, now: SimTime) -> f64 {
+        self.phases
+            .iter()
+            .rev()
+            .find(|p| p.start <= now)
+            .map_or(self.base_rate, |p| p.rate_per_sec)
+    }
+
+    fn drain_margin(&self) -> SimTime {
+        self.group_timeout + 6 * self.block_interval + 4 * self.analyser_poll_interval + SECONDS
+    }
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for WorkloadSource {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        debug_assert!(matches!(msg, Msg::Arrival));
+        if ctx.report.requests_issued >= self.total_requests {
+            return; // workload exhausted; nothing to reschedule
+        }
+        if ctx.active_tenants.is_empty() {
+            if self.last_join_at.is_some_and(|t| t >= now) {
+                // All tenants departed but a scripted join is still
+                // ahead: idle on a slow self-tick until it lands (the
+                // controller cannot reschedule us).
+                out.emit(SECONDS, Msg::Arrival);
+            } else {
+                // Nobody left and nobody coming: wind the run down
+                // instead of grinding empty ticks to the horizon.
+                out.set_deadline(now + self.drain_margin());
+            }
+            return;
+        }
+        ctx.report.requests_issued += 1;
+        let pick = ctx.rngs.workload.gen_range(0..ctx.active_tenants.len());
+        let tenant = ctx.active_tenants[pick];
+        let services = &ctx.tenants[tenant].spec.services;
+        let service = services[ctx.rngs.workload.gen_range(0..services.len().max(1))].clone();
+        let request = self.generator.next_request();
+        out.emit(
+            0,
+            Msg::Intercept {
+                tenant,
+                service,
+                request,
+            },
+        );
+        if ctx.report.requests_issued < self.total_requests {
+            let arrivals = PoissonArrivals::with_rate_per_sec(self.rate_at(now));
+            out.emit(arrivals.next_gap(&mut ctx.rngs.workload), Msg::Arrival);
+        } else {
+            out.set_deadline(now + self.drain_margin());
+        }
+    }
+}
+
+/// The tenant-edge PEPs and their probes.
+struct PepService {
+    peps: Vec<Pep>,
+    probes: Vec<Probe>,
+    bias: drams_faas::pep::EnforcementBias,
+    key: SymmetricKey,
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for PepService {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Intercept {
+                tenant,
+                service,
+                request,
+            } => {
+                let mut env = self.peps[tenant].intercept(service, request, now);
+                ctx.issued_at_by_corr.insert(env.correlation, now);
+                if ctx.monitoring {
+                    let entry = self.probes[tenant].observe_request(
+                        ObservationPoint::PepRequest,
+                        &env,
+                        now,
+                    );
+                    let li = ctx.li_of_tenant[tenant];
+                    ctx.deliver_to_li(out, li, entry, now);
+                }
+                if ctx.adversary.tamper_request_in_transit(&mut env, now) {
+                    ctx.truth.tampered_requests.push(env.correlation);
+                }
+                let slot = ctx.pdp_slot_of_tenant[tenant];
+                let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
+                out.emit(latency, Msg::PdpReceive { slot, env });
+            }
+            Msg::PepReceive(env) => {
+                let Some(tenant) = self.peps.iter().position(|p| p.id() == env.pep) else {
+                    return;
+                };
+                let Some(enforcement) = self.peps[tenant].enforce(&env) else {
+                    return;
+                };
+                let mut granted = enforcement.granted;
+                if ctx.adversary.flip_enforcement(&mut granted, now) {
+                    ctx.truth.flipped_enforcements.push(env.correlation);
+                }
+                ctx.report.requests_completed += 1;
+                if granted {
+                    ctx.report.granted += 1;
+                } else {
+                    ctx.report.refused += 1;
+                }
+                if let Some(issued) = ctx.issued_at_by_corr.get(&env.correlation) {
+                    ctx.report.e2e_latency.record(now - issued);
+                }
+                if ctx.monitoring {
+                    let entry = self.probes[tenant].observe_pep_response(&env, granted, now);
+                    let li = ctx.li_of_tenant[tenant];
+                    ctx.deliver_to_li(out, li, entry, now);
+                }
+            }
+            Msg::ProvisionPep { tenant } => {
+                let spec = &ctx.tenants[tenant].spec;
+                debug_assert_eq!(tenant, self.peps.len(), "peps provision in tenant order");
+                self.peps.push(Pep::new(spec.pep, spec.id, self.bias));
+                let probe_id = ProbeId(tenant as u32 + 1);
+                self.probes.push(Probe::new(
+                    probe_id,
+                    self.key.clone(),
+                    probe_mac_key(probe_id),
+                ));
+            }
+            _ => unreachable!("misrouted event"),
+        }
+    }
+}
+
+/// One PDP instance (central, or one per member cloud) with its probe.
+struct PdpSlot {
+    pdp: drams_policy::pdp::Pdp,
+    probe: Probe,
+    silenced_until: SimTime,
+}
+
+/// The decision plane: the PRP (version store) plus the deployed PDPs.
+struct PdpService {
+    prp: Prp,
+    slots: Vec<PdpSlot>,
+    infra_li: usize,
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::PdpReceive { slot, env } => {
+                let s = &mut self.slots[slot];
+                if now < s.silenced_until {
+                    // Fault window: a silent PDP neither observes nor
+                    // answers; the group will time out on-chain.
+                    ctx.report.requests_dropped += 1;
+                    return;
+                }
+                if ctx.monitoring {
+                    let entry = s
+                        .probe
+                        .observe_request(ObservationPoint::PdpRequest, &env, now);
+                    ctx.deliver_to_li(out, self.infra_li, entry, now);
+                }
+                let response = s.pdp.evaluate(&env.request);
+                let mut resp_env = ResponseEnvelope {
+                    correlation: env.correlation,
+                    pep: env.pep,
+                    response,
+                    policy_version: s.pdp.policy_version(),
+                    decided_at: now,
+                };
+                if ctx.adversary.corrupt_pdp_decision(&mut resp_env, now) {
+                    ctx.truth.corrupted_decisions.push(resp_env.correlation);
+                }
+                if ctx.monitoring {
+                    let entry = s.probe.observe_pdp_response(&resp_env, now);
+                    ctx.deliver_to_li(out, self.infra_li, entry, now);
+                }
+                if ctx.adversary.tamper_response_in_transit(&mut resp_env, now) {
+                    ctx.truth.tampered_responses.push(resp_env.correlation);
+                }
+                let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
+                out.emit(latency, Msg::PepReceive(resp_env));
+            }
+            Msg::PolicyAdmin(action) => {
+                match action {
+                    PolicyAdmin::Publish(policy) => {
+                        self.prp.publish(policy);
+                    }
+                    PolicyAdmin::Rollback(version) => {
+                        // Rollback is modelled as re-publishing the old
+                        // content: the digest (and thus the version the
+                        // probes log) is the old one again.
+                        let old = self
+                            .prp
+                            .version(version)
+                            .expect("script rolls back to a published version")
+                            .policy
+                            .clone();
+                        self.prp.publish(old);
+                    }
+                }
+                let active = self.prp.active();
+                for slot in &mut self.slots {
+                    slot.pdp = active.pdp();
+                }
+                ctx.report.policy_activations += 1;
+                out.emit(0, Msg::AnalyserPolicy(active.policy.clone()));
+            }
+            Msg::SilencePdp { slot, until } => {
+                self.slots[slot].silenced_until = until;
+            }
+            _ => unreachable!("misrouted event"),
+        }
+    }
+}
+
+/// The per-tenant Logging Interfaces (plus the infrastructure LI).
+struct LiService {
+    lis: Vec<LoggingInterface>,
+    pending: Vec<Vec<SimTime>>,
+    backlog: Vec<Vec<LogEntry>>,
+    stalled_until: Vec<SimTime>,
+    flush_interval: SimTime,
+    batch_size: usize,
+    key: SymmetricKey,
+}
+
+impl LiService {
+    fn push_li(&mut self, name: &str) {
+        self.lis.push(LoggingInterface::new(
+            name.to_string(),
+            self.key.clone(),
+            Keypair::from_seed(name.as_bytes()),
+            self.batch_size,
+        ));
+        self.pending.push(Vec::new());
+        self.backlog.push(Vec::new());
+        self.stalled_until.push(0);
+    }
+
+    fn store(&mut self, li: usize, entry: LogEntry, ctx: &mut Ctx<'_>) {
+        self.pending[li].push(entry.observed_at);
+        let ids = self.lis[li]
+            .store(entry, &mut ctx.node)
+            .expect("li submission");
+        assign_tx_times(&mut self.pending[li], &ids, &mut ctx.tx_entry_times);
+        ctx.report.max_mempool = ctx.report.max_mempool.max(ctx.node.mempool_len());
+    }
+
+    fn drain_backlog(&mut self, li: usize, ctx: &mut Ctx<'_>) {
+        let backlog = std::mem::take(&mut self.backlog[li]);
+        for entry in backlog {
+            self.store(li, entry, ctx);
+        }
+    }
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for LiService {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::LiDeliver { li, entry } => {
+                if now < self.stalled_until[li] {
+                    self.backlog[li].push(entry);
+                    return;
+                }
+                self.drain_backlog(li, ctx);
+                self.store(li, entry, ctx);
+            }
+            Msg::LiFlushTick { li } => {
+                if now >= self.stalled_until[li] {
+                    self.drain_backlog(li, ctx);
+                    let ids = self.lis[li].flush(&mut ctx.node).expect("li flush");
+                    assign_tx_times(&mut self.pending[li], &ids, &mut ctx.tx_entry_times);
+                }
+                ctx.report.max_mempool = ctx.report.max_mempool.max(ctx.node.mempool_len());
+                if out.within_deadline(now) {
+                    out.emit(self.flush_interval, Msg::LiFlushTick { li });
+                }
+            }
+            Msg::StallLi { li, until } => {
+                self.stalled_until[li] = until;
+            }
+            Msg::ProvisionLi { li } => {
+                debug_assert_eq!(li, self.lis.len(), "lis provision in index order");
+                self.push_li(&format!("li-{li}"));
+                out.emit(self.flush_interval, Msg::LiFlushTick { li });
+            }
+            _ => unreachable!("misrouted event"),
+        }
+    }
+}
+
+/// The chain node: mines on a cadence, submits the epoch sweep, and
+/// harvests committed contract events into the report.
+struct ChainService {
+    admin: Keypair,
+    epoch_blocks: u64,
+    block_interval: SimTime,
+    event_cursor: usize,
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        debug_assert!(matches!(msg, Msg::MineTick));
+        let next_height = ctx.node.chain().tip_header().height + 1;
+        if self.epoch_blocks > 0 && next_height % self.epoch_blocks == 0 {
+            ctx.node
+                .submit_call(&self.admin, MONITOR_CONTRACT, "advance_epoch", vec![])
+                .expect("epoch submission");
+        }
+        ctx.report.max_mempool = ctx.report.max_mempool.max(ctx.node.mempool_len());
+        let block = ctx.node.mine_block(now).expect("mining");
+        ctx.report.blocks_mined += 1;
+        ctx.report.txs_committed += block.transactions.len() as u64;
+        for tx in &block.transactions {
+            if let Some(times) = ctx.tx_entry_times.remove(&tx.id()) {
+                for t in times {
+                    ctx.report.log_commit_latency.record(now.saturating_sub(t));
+                    ctx.report.entries_logged += 1;
+                }
+            }
+        }
+        // Harvest newly committed contract events.
+        let (events, cursor) = ctx.node.events_since(self.event_cursor);
+        let new_alerts: Vec<Alert> = events
+            .iter()
+            .filter(|e| e.name.starts_with("alert."))
+            .filter_map(|e| Alert::from_canonical_bytes(&e.data).ok())
+            .collect();
+        ctx.report.groups_completed += events
+            .iter()
+            .filter(|e| e.name == GROUP_COMPLETE_EVENT)
+            .count() as u64;
+        self.event_cursor = cursor;
+        for mut alert in new_alerts {
+            if let Some(issued) = ctx.issued_at_by_corr.get(&alert.correlation) {
+                ctx.report
+                    .detection_latency
+                    .record(now.saturating_sub(*issued));
+            }
+            // Detection time on the wall: when the block carrying the
+            // alert was committed.
+            alert.detected_at = now;
+            ctx.report.alerts.push(alert);
+        }
+        if out.within_deadline(now) {
+            out.emit(self.block_interval, Msg::MineTick);
+        }
+    }
+}
+
+/// The Analyser as a service: periodic chain polls, plus provisioning
+/// and policy-administration notifications.
+struct AnalyserService {
+    analyser: Analyser,
+    poll_interval: SimTime,
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for AnalyserService {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::AnalyserTick => {
+                let _ = self.analyser.poll(&mut ctx.node, now);
+                if out.within_deadline(now) {
+                    out.emit(self.poll_interval, Msg::AnalyserTick);
+                }
+            }
+            Msg::AnalyserPolicy(policy) => {
+                self.analyser.publish_authorised_policy(policy, now);
+            }
+            Msg::ProvisionProbeKey { probe } => {
+                self.analyser
+                    .register_probe_key(probe, probe_mac_key(probe));
+            }
+            _ => unreachable!("misrouted event"),
+        }
+    }
+}
+
+/// Executes the scenario script: policy administration, tenant churn and
+/// fault windows, decomposed into the provisioning events above.
+struct Controller {
+    script: Vec<ScriptedAction>,
+    placement: PdpPlacement,
+    infra_li: usize,
+}
+
+impl Controller {
+    fn pdp_slot_for(&self, ctx: &Ctx<'_>, cloud: CloudId) -> usize {
+        match self.placement {
+            PdpPlacement::Central => 0,
+            PdpPlacement::PerCloud => *ctx
+                .pdp_slot_of_cloud
+                .get(&cloud.0)
+                .expect("script addresses an existing cloud"),
+        }
+    }
+}
+
+impl<'a> SimService<Msg, Ctx<'a>> for Controller {
+    fn handle(&mut self, _now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Script(i) => match self.script[i].clone() {
+                ScriptedAction::PublishPolicy { policy, .. } => {
+                    out.emit(0, Msg::PolicyAdmin(PolicyAdmin::Publish(policy)));
+                }
+                ScriptedAction::RollbackPolicy { version, .. } => {
+                    out.emit(0, Msg::PolicyAdmin(PolicyAdmin::Rollback(version)));
+                }
+                ScriptedAction::TenantJoin {
+                    cloud, services, ..
+                } => {
+                    let id = ctx.tenants.iter().map(|t| t.spec.id.0).max().unwrap_or(0) + 1;
+                    let tenant = ctx.tenants.len();
+                    ctx.tenants.push(TenantRuntime {
+                        spec: TenantSpec {
+                            id: TenantId(id),
+                            cloud,
+                            pep: drams_faas::model::PepId(id),
+                            services: (0..services.max(1))
+                                .map(|s| format!("svc-{id}-{s}"))
+                                .collect(),
+                        },
+                        active: false,
+                        departed: false,
+                    });
+                    // LIs sit at [members 0..n, infra at n, joined at
+                    // n+1…], so a joined tenant's LI index is tenant+1.
+                    let li = tenant + 1;
+                    debug_assert!(li > self.infra_li);
+                    ctx.li_of_tenant.push(li);
+                    let slot = self.pdp_slot_for(ctx, cloud);
+                    ctx.pdp_slot_of_tenant.push(slot);
+                    out.emit(0, Msg::ProvisionPep { tenant });
+                    out.emit(0, Msg::ProvisionLi { li });
+                    out.emit(
+                        0,
+                        Msg::ProvisionProbeKey {
+                            probe: ProbeId(tenant as u32 + 1),
+                        },
+                    );
+                    // The tenant takes a short, churn-stream-jittered
+                    // settle time before the workload targets it.
+                    let settle = ctx.rngs.churn.gen_range(0..=drams_faas::des::MILLIS);
+                    out.emit(settle, Msg::ActivateTenant { tenant });
+                }
+                ScriptedAction::TenantLeave { tenant, .. } => {
+                    if let Some(idx) = ctx.tenants.iter().position(|t| t.spec.id == tenant) {
+                        ctx.tenants[idx].active = false;
+                        ctx.tenants[idx].departed = true;
+                        ctx.active_tenants.retain(|&t| t != idx);
+                    }
+                }
+                ScriptedAction::StallLi { until, tenant, .. } => {
+                    let li = if tenant.is_infrastructure() {
+                        self.infra_li
+                    } else {
+                        let idx = ctx
+                            .tenants
+                            .iter()
+                            .position(|t| t.spec.id == tenant)
+                            .expect("script stalls an existing tenant's LI");
+                        ctx.li_of_tenant[idx]
+                    };
+                    out.emit(0, Msg::StallLi { li, until });
+                }
+                ScriptedAction::SilencePdp { until, cloud, .. } => {
+                    let slot = self.pdp_slot_for(ctx, cloud);
+                    out.emit(0, Msg::SilencePdp { slot, until });
+                }
+            },
+            Msg::ActivateTenant { tenant } => {
+                if !ctx.tenants[tenant].departed {
+                    ctx.tenants[tenant].active = true;
+                    ctx.active_tenants.push(tenant);
+                }
+            }
+            _ => unreachable!("misrouted event"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Assembly
+// ---------------------------------------------------------------------------
+
+/// Runs one scenario end to end.
+///
+/// # Panics
+///
+/// Panics on internal invariant violations (the chain rejecting its own
+/// miner's block, the script addressing a tenant/cloud/version that does
+/// not exist), which indicate bugs rather than recoverable errors.
+pub fn run_scenario<A: Adversary>(
+    spec: &ScenarioSpec,
+    adversary: &mut A,
+) -> (MonitorReport, GroundTruth) {
+    let config = &spec.config;
+    let mut report = MonitorReport::default();
+    let mut truth = GroundTruth::default();
+    report.policy_activations = 1;
+
+    // --- access control plane -------------------------------------------
+    let tenant_count = config.federation.tenant_count().max(1);
+    let peps: Vec<Pep> = config
+        .federation
+        .tenants
+        .iter()
+        .map(|t| Pep::new(t.pep, t.id, config.bias))
+        .collect();
+    let authorised = config.policy.clone();
+    let active_policy = match adversary.swap_policy(&authorised) {
+        Some(swapped) => {
+            truth.policy_swapped = true;
+            swapped
+        }
+        None => authorised.clone(),
+    };
+    // The PRP stores (and pre-compiles) the policy the PDPs actually
+    // serve — deliberately the *active* policy, not the authorised one:
+    // the paper's swap-policy threat is an unauthorised substitution at
+    // the PRP, and the Analyser detects it from its own independent
+    // authorised copy.
+    let prp = Prp::new(active_policy);
+
+    // PDP slots: one central instance, or one per member cloud.
+    let key = SymmetricKey::from_bytes([42; 32]);
+    let mut probe_mac_keys: BTreeMap<ProbeId, [u8; 32]> = BTreeMap::new();
+    let mut pdp_slot_of_cloud: BTreeMap<u32, usize> = BTreeMap::new();
+    let mut slots: Vec<PdpSlot> = Vec::new();
+    match spec.placement {
+        PdpPlacement::Central => {
+            let probe_id = ProbeId(0);
+            probe_mac_keys.insert(probe_id, probe_mac_key(probe_id));
+            slots.push(PdpSlot {
+                pdp: prp.active().pdp(),
+                probe: Probe::new(probe_id, key.clone(), probe_mac_key(probe_id)),
+                silenced_until: 0,
+            });
+            for t in &config.federation.tenants {
+                pdp_slot_of_cloud.entry(t.cloud.0).or_insert(0);
+            }
+        }
+        PdpPlacement::PerCloud => {
+            let clouds: BTreeSet<u32> = config
+                .federation
+                .tenants
+                .iter()
+                .map(|t| t.cloud.0)
+                .collect();
+            for cloud in clouds {
+                let probe_id = ProbeId(PDP_PROBE_BASE + cloud);
+                probe_mac_keys.insert(probe_id, probe_mac_key(probe_id));
+                pdp_slot_of_cloud.insert(cloud, slots.len());
+                slots.push(PdpSlot {
+                    pdp: prp.active().pdp(),
+                    probe: Probe::new(probe_id, key.clone(), probe_mac_key(probe_id)),
+                    silenced_until: 0,
+                });
+            }
+        }
+    }
+
+    // --- monitoring plane -------------------------------------------------
+    let pep_probes: Vec<Probe> = (0..tenant_count)
+        .map(|i| {
+            let id = ProbeId(i as u32 + 1);
+            probe_mac_keys.insert(id, probe_mac_key(id));
+            Probe::new(id, key.clone(), probe_mac_key(id))
+        })
+        .collect();
+
+    // One LI per member tenant + one in the infrastructure tenant.
+    let infra_li = tenant_count;
+    let mut li_service = LiService {
+        lis: Vec::new(),
+        pending: Vec::new(),
+        backlog: Vec::new(),
+        stalled_until: Vec::new(),
+        flush_interval: config.li_flush_interval,
+        batch_size: config.li_batch_size,
+        key: key.clone(),
+    };
+    for i in 0..=tenant_count {
+        li_service.push_li(&format!("li-{i}"));
+    }
+
+    // --- chain -------------------------------------------------------------
+    let admin = Keypair::from_seed(b"drams-admin");
+    let analyser_kp = Keypair::from_seed(b"drams-analyser");
+    let mut node = Node::new(ChainConfig {
+        initial_difficulty_bits: 0,
+        retarget_interval: 0,
+        max_block_txs: 4096,
+        ..ChainConfig::default()
+    });
+    node.register_contract(Box::new(MonitorContract));
+    if config.monitoring_enabled {
+        node.submit_call(
+            &admin,
+            MONITOR_CONTRACT,
+            "init",
+            MonitorContract::init_payload(config.group_timeout, analyser_kp.public().fingerprint()),
+        )
+        .expect("init submission");
+        node.mine_block(0).expect("genesis follow-up");
+    }
+    let event_cursor = node.events().len();
+    let analyser = Analyser::new(authorised, key.clone(), analyser_kp, probe_mac_keys);
+
+    // --- context -----------------------------------------------------------
+    let pep_pdp = match spec.placement {
+        PdpPlacement::Central => config.federation.tenant_to_infra,
+        // Per-cloud PDPs sit one local hop away from their PEPs.
+        PdpPlacement::PerCloud => config.federation.intra_tenant,
+    };
+    let mut ctx = Ctx {
+        node,
+        report,
+        truth,
+        adversary,
+        rngs: RngStreams::new(config.seed),
+        monitoring: config.monitoring_enabled,
+        to_li: config.federation.to_logging_interface,
+        pep_pdp,
+        tenants: config
+            .federation
+            .tenants
+            .iter()
+            .map(|t| TenantRuntime {
+                spec: t.clone(),
+                active: true,
+                departed: false,
+            })
+            .collect(),
+        active_tenants: (0..tenant_count).collect(),
+        li_of_tenant: (0..tenant_count).collect(),
+        pdp_slot_of_tenant: config
+            .federation
+            .tenants
+            .iter()
+            .map(|t| pdp_slot_of_cloud[&t.cloud.0])
+            .collect(),
+        pdp_slot_of_cloud,
+        issued_at_by_corr: HashMap::new(),
+        tx_entry_times: HashMap::new(),
+    };
+
+    // --- services ----------------------------------------------------------
+    let mut rt: ServiceRuntime<Msg, Ctx<'_>> = ServiceRuntime::new(route);
+    let registered = rt.register(Box::new(WorkloadSource {
+        total_requests: config.total_requests,
+        base_rate: config.request_rate_per_sec,
+        phases: spec.phases.clone(),
+        generator: RequestGenerator::new(Vocabulary::default(), 1.1, config.seed ^ 0x9e37),
+        last_join_at: spec
+            .script
+            .iter()
+            .filter_map(|a| match a {
+                ScriptedAction::TenantJoin { at, .. } => Some(*at),
+                _ => None,
+            })
+            .max(),
+        group_timeout: config.group_timeout,
+        block_interval: config.block_interval,
+        analyser_poll_interval: config.analyser_poll_interval,
+    }));
+    debug_assert_eq!(registered, SVC_WORKLOAD);
+    rt.register(Box::new(PepService {
+        peps,
+        probes: pep_probes,
+        bias: config.bias,
+        key: key.clone(),
+    }));
+    rt.register(Box::new(PdpService {
+        prp,
+        slots,
+        infra_li,
+    }));
+    rt.register(Box::new(li_service));
+    rt.register(Box::new(ChainService {
+        admin,
+        epoch_blocks: config.epoch_blocks,
+        block_interval: config.block_interval,
+        event_cursor,
+    }));
+    rt.register(Box::new(AnalyserService {
+        analyser,
+        poll_interval: config.analyser_poll_interval,
+    }));
+    rt.register(Box::new(Controller {
+        script: spec.script.clone(),
+        placement: spec.placement,
+        infra_li,
+    }));
+
+    // --- initial events ----------------------------------------------------
+    let arrivals = PoissonArrivals::with_rate_per_sec(
+        spec.phases
+            .first()
+            .filter(|p| p.start == 0)
+            .map_or(config.request_rate_per_sec, |p| p.rate_per_sec),
+    );
+    rt.schedule(arrivals.next_gap(&mut ctx.rngs.workload), Msg::Arrival);
+    if config.monitoring_enabled {
+        rt.schedule(config.block_interval, Msg::MineTick);
+        for li in 0..=tenant_count {
+            rt.schedule(config.li_flush_interval, Msg::LiFlushTick { li });
+        }
+        if config.analyser_enabled {
+            rt.schedule(config.analyser_poll_interval, Msg::AnalyserTick);
+        }
+    }
+    for (i, action) in spec.script.iter().enumerate() {
+        rt.schedule_at(action.at(), Msg::Script(i));
+    }
+
+    // --- run ---------------------------------------------------------------
+    let finished_at = rt.run(&mut ctx, config.horizon);
+    ctx.report.finished_at = finished_at;
+    (ctx.report, ctx.truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::NoAdversary;
+    use drams_faas::des::MILLIS;
+    use drams_faas::model::FederationSpec;
+    use rand::RngCore;
+
+    fn base_config() -> MonitorConfig {
+        MonitorConfig {
+            total_requests: 40,
+            request_rate_per_sec: 100.0,
+            ..MonitorConfig::default()
+        }
+    }
+
+    #[test]
+    fn named_streams_are_deterministic_and_distinct() {
+        let mut a = stream_rng(7, "workload");
+        let mut b = stream_rng(7, "workload");
+        let mut c = stream_rng(7, "churn");
+        let mut d = stream_rng(8, "workload");
+        let a_seq: Vec<u64> = (0..4).map(|_| a.next_u64()).collect();
+        let b_seq: Vec<u64> = (0..4).map(|_| b.next_u64()).collect();
+        assert_eq!(a_seq, b_seq, "same seed + name = same stream");
+        assert_ne!(a_seq[0], c.next_u64(), "names separate streams");
+        assert_ne!(a_seq[0], d.next_u64(), "seeds separate streams");
+    }
+
+    #[test]
+    fn cross_stream_draws_do_not_perturb_each_other() {
+        // Interleaving draws from one stream must not change another's
+        // sequence — the property the per-component split buys.
+        let mut workload = stream_rng(7, "workload");
+        let mut churn = stream_rng(7, "churn");
+        let mut interleaved = Vec::new();
+        for _ in 0..8 {
+            interleaved.push(workload.next_u64());
+            let _ = churn.next_u64(); // extra churn draws
+            let _ = churn.next_u64();
+        }
+        let mut isolated_stream = stream_rng(7, "workload");
+        let isolated: Vec<u64> = (0..8).map(|_| isolated_stream.next_u64()).collect();
+        assert_eq!(interleaved, isolated);
+    }
+
+    #[test]
+    fn canonical_scenario_matches_run_monitor() {
+        let config = base_config();
+        let (a, ta) = crate::monitor::run_monitor(&config, &mut NoAdversary);
+        let (b, tb) = run_scenario(&ScenarioSpec::canonical(&config), &mut NoAdversary);
+        assert_eq!(a.requests_completed, b.requests_completed);
+        assert_eq!(a.entries_logged, b.entries_logged);
+        assert_eq!(a.groups_completed, b.groups_completed);
+        assert_eq!(a.alerts.len(), b.alerts.len());
+        assert_eq!(a.e2e_latency.mean(), b.e2e_latency.mean());
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn per_cloud_placement_serves_all_requests_clean() {
+        let spec = ScenarioSpec {
+            placement: PdpPlacement::PerCloud,
+            ..ScenarioSpec::canonical(&base_config())
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(report.requests_completed, 40);
+        assert_eq!(report.groups_completed, 40);
+        assert_eq!(report.entries_logged, 160);
+        assert_eq!(truth.total_attacks(), 0);
+        assert!(report.alerts.is_empty(), "alerts: {:?}", report.alerts);
+    }
+
+    #[test]
+    fn per_cloud_pdps_cut_decision_latency() {
+        let config = base_config();
+        let (central, _) = run_scenario(&ScenarioSpec::canonical(&config), &mut NoAdversary);
+        let spec = ScenarioSpec {
+            placement: PdpPlacement::PerCloud,
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (local, _) = run_scenario(&spec, &mut NoAdversary);
+        assert!(
+            local.e2e_latency.mean() < central.e2e_latency.mean(),
+            "local {} vs central {}",
+            local.e2e_latency.mean(),
+            central.e2e_latency.mean()
+        );
+    }
+
+    #[test]
+    fn policy_churn_is_not_flagged_as_attack() {
+        let mut config = base_config();
+        config.total_requests = 80;
+        let stricter = PolicySet::builder(
+            "strict-root",
+            drams_policy::combining::CombiningAlg::DenyUnlessPermit,
+        )
+        .policy(
+            drams_policy::policy::Policy::builder(
+                "doctors-only",
+                drams_policy::combining::CombiningAlg::PermitOverrides,
+            )
+            .rule(
+                drams_policy::rule::Rule::builder(
+                    "doctors",
+                    drams_policy::decision::Effect::Permit,
+                )
+                .target(drams_policy::target::Target::expr(
+                    drams_policy::expr::Expr::equal(
+                        drams_policy::expr::Expr::attr(drams_policy::attr::AttributeId::new(
+                            drams_policy::attr::Category::Subject,
+                            "role",
+                        )),
+                        drams_policy::expr::Expr::lit("doctor"),
+                    ),
+                ))
+                .build(),
+            )
+            .build(),
+        )
+        .build();
+        let spec = ScenarioSpec {
+            script: vec![
+                ScriptedAction::PublishPolicy {
+                    at: 200 * MILLIS,
+                    policy: stricter,
+                },
+                ScriptedAction::RollbackPolicy {
+                    at: 500 * MILLIS,
+                    version: 0,
+                },
+            ],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(report.requests_completed, 80);
+        assert_eq!(report.groups_completed, 80);
+        assert_eq!(report.policy_activations, 3, "initial + publish + rollback");
+        assert_eq!(truth.total_attacks(), 0);
+        assert!(
+            report.alerts.is_empty(),
+            "legitimate churn must not alert: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn tenant_churn_keeps_the_run_clean() {
+        let mut config = base_config();
+        config.total_requests = 80;
+        let spec = ScenarioSpec {
+            script: vec![
+                ScriptedAction::TenantJoin {
+                    at: 150 * MILLIS,
+                    cloud: CloudId(0),
+                    services: 2,
+                },
+                ScriptedAction::TenantLeave {
+                    at: 450 * MILLIS,
+                    tenant: TenantId(2),
+                },
+            ],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(report.requests_completed, 80);
+        assert_eq!(report.groups_completed, 80);
+        assert_eq!(truth.total_attacks(), 0);
+        assert!(report.alerts.is_empty(), "alerts: {:?}", report.alerts);
+    }
+
+    #[test]
+    fn stalled_li_raises_missing_log_alerts() {
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            script: vec![ScriptedAction::StallLi {
+                at: 0,
+                until: 30 * SECONDS, // far beyond the drain deadline
+                tenant: TenantId(1),
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0, "a fault is not an attack");
+        assert!(
+            report
+                .alerts
+                .iter()
+                .any(|a| matches!(a.kind, crate::alert::AlertKind::MissingLog { .. })),
+            "a stalled LI must surface as missing observations: {:?}",
+            report.alerts
+        );
+        assert!(report.groups_completed < 60);
+    }
+
+    #[test]
+    fn silent_pdp_drops_requests_and_times_out() {
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            script: vec![ScriptedAction::SilencePdp {
+                at: 0,
+                until: 100 * MILLIS,
+                cloud: CloudId(0),
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, _) = run_scenario(&spec, &mut NoAdversary);
+        assert!(report.requests_dropped > 0);
+        assert_eq!(
+            report.requests_completed + report.requests_dropped,
+            60,
+            "every request either completes or was swallowed by the fault"
+        );
+        assert!(report
+            .alerts
+            .iter()
+            .all(|a| matches!(a.kind, crate::alert::AlertKind::MissingLog { .. })));
+    }
+
+    #[test]
+    fn phased_load_changes_arrival_density() {
+        let mut config = base_config();
+        config.total_requests = 200;
+        config.request_rate_per_sec = 50.0;
+        let burst = ScenarioSpec {
+            phases: vec![
+                Phase {
+                    start: 0,
+                    rate_per_sec: 50.0,
+                },
+                Phase {
+                    start: 500 * MILLIS,
+                    rate_per_sec: 1000.0,
+                },
+            ],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (bursty, _) = run_scenario(&burst, &mut NoAdversary);
+        let (flat, _) = run_scenario(&ScenarioSpec::canonical(&config), &mut NoAdversary);
+        assert_eq!(bursty.requests_completed, 200);
+        assert!(
+            bursty.finished_at < flat.finished_at,
+            "the burst phase must finish the budget sooner: {} vs {}",
+            bursty.finished_at,
+            flat.finished_at
+        );
+    }
+
+    #[test]
+    fn scheduling_an_out_of_window_action_does_not_perturb_the_run() {
+        // Cross-component determinism at scenario level: a scripted
+        // action that never fires (far beyond the horizon) must leave
+        // every draw of every other component untouched.
+        let mut config = base_config();
+        config.horizon = 30 * SECONDS;
+        let canonical = ScenarioSpec::canonical(&config);
+        let spec = ScenarioSpec {
+            script: vec![ScriptedAction::TenantJoin {
+                at: config.horizon + SECONDS,
+                cloud: CloudId(0),
+                services: 1,
+            }],
+            ..canonical.clone()
+        };
+        let (a, ta) = run_scenario(&canonical, &mut NoAdversary);
+        let (b, tb) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(a.requests_completed, b.requests_completed);
+        assert_eq!(a.e2e_latency.mean(), b.e2e_latency.mean());
+        assert_eq!(a.log_commit_latency.mean(), b.log_commit_latency.mean());
+        assert_eq!(a.txs_committed, b.txs_committed);
+        assert_eq!(ta, tb);
+    }
+
+    #[test]
+    fn leave_during_join_settle_does_not_resurrect_the_tenant() {
+        // A tenant that departs between its join and the end of the join
+        // settle window must not re-enter the workload rotation when the
+        // pending activation fires.
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            script: vec![
+                ScriptedAction::TenantJoin {
+                    at: 100 * MILLIS,
+                    cloud: CloudId(0),
+                    services: 1,
+                },
+                // Default federation has tenants 1..=4, so the joiner is
+                // TenantId(5); it leaves at the same instant it joins —
+                // before the churn-jittered activation can land.
+                ScriptedAction::TenantLeave {
+                    at: 100 * MILLIS,
+                    tenant: TenantId(5),
+                },
+            ],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(report.requests_completed, 60);
+        assert_eq!(truth.total_attacks(), 0);
+        assert!(report.alerts.is_empty(), "alerts: {:?}", report.alerts);
+    }
+
+    #[test]
+    fn run_winds_down_when_every_tenant_departs_for_good() {
+        let mut config = base_config();
+        config.total_requests = 1_000_000; // never exhausted
+        let leave_all: Vec<ScriptedAction> = config
+            .federation
+            .tenants
+            .iter()
+            .map(|t| ScriptedAction::TenantLeave {
+                at: 300 * MILLIS,
+                tenant: t.id,
+            })
+            .collect();
+        let spec = ScenarioSpec {
+            script: leave_all,
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, _) = run_scenario(&spec, &mut NoAdversary);
+        assert!(report.requests_issued > 0);
+        assert!(
+            report.finished_at < 30 * SECONDS,
+            "an emptied federation must drain, not grind to the {}s horizon              (finished at {})",
+            config.horizon / SECONDS,
+            report.finished_at
+        );
+    }
+
+    #[test]
+    fn federation_scales_with_per_cloud_pdps() {
+        let config = MonitorConfig {
+            federation: FederationSpec::symmetric(4, 1, 2),
+            total_requests: 60,
+            request_rate_per_sec: 150.0,
+            ..MonitorConfig::default()
+        };
+        let spec = ScenarioSpec {
+            placement: PdpPlacement::PerCloud,
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, _) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(report.requests_completed, 60);
+        assert_eq!(report.groups_completed, 60);
+        assert!(report.alerts.is_empty());
+    }
+}

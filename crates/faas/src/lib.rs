@@ -24,7 +24,10 @@ pub mod pep;
 pub mod prp;
 pub mod workload;
 
-pub use des::{EventQueue, LatencyStats, SimTime, MICRO, MILLIS, SECONDS};
+pub use des::{
+    EventQueue, LatencyStats, Outbox, ServiceRuntime, SimService, SimTime, StatsReport, MICRO,
+    MILLIS, SECONDS,
+};
 pub use model::{CloudId, FederationSpec, LatencyModel, PepId, TenantId, TenantSpec};
 pub use msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 pub use pep::{Enforcement, EnforcementBias, Pep};
