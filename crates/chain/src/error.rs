@@ -46,6 +46,9 @@ pub enum ChainError {
         /// Configured maximum.
         max: usize,
     },
+    /// The node's write-ahead journal rejected a record — the accepted
+    /// transaction or block could not be made durable.
+    Journal(String),
 }
 
 impl fmt::Display for ChainError {
@@ -70,6 +73,7 @@ impl fmt::Display for ChainError {
             ChainError::BlockTooLarge { txs, max } => {
                 write!(f, "block has {txs} transactions, maximum is {max}")
             }
+            ChainError::Journal(msg) => write!(f, "node journal write failed: {msg}"),
         }
     }
 }

@@ -34,6 +34,14 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! Durability: the node is storage-agnostic, but accepts a write-ahead
+//! journal ([`node::NodeJournal`]) recording every accepted transaction
+//! and imported block; `drams_store::persist` implements it over a
+//! segmented WAL and rebuilds a crashed node — chain, contract state
+//! *and* mempool — by replay.
+
+#![warn(missing_docs)]
 
 pub mod block;
 pub mod chain;

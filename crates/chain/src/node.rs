@@ -8,6 +8,38 @@ use crate::mempool::Mempool;
 use crate::tx::{Transaction, TxId};
 use drams_crypto::schnorr::{Keypair, PublicKey};
 
+/// A write-ahead journal for a [`Node`]'s durable state.
+///
+/// The node stays storage-agnostic: it calls these hooks for every
+/// accepted transaction and every imported block, and an implementation
+/// (e.g. `drams_store::persist::WalJournal`) decides how the records hit
+/// disk. Replaying the journal — transactions re-submitted, blocks
+/// re-imported, in recorded order — reconstructs the node's chain,
+/// contract state *and* mempool exactly, which is what the E11
+/// crash-restart scenarios rely on.
+pub trait NodeJournal {
+    /// Records a transaction about to be accepted into the mempool.
+    ///
+    /// Called *before* the mempool accepts (write-ahead): a journaled
+    /// transaction the mempool then rejects is harmless on replay, the
+    /// reverse would lose data.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable reason; the node surfaces it as
+    /// [`ChainError::Journal`] and does not accept the transaction.
+    fn record_transaction(&mut self, tx: &Transaction) -> Result<(), String>;
+
+    /// Records a block the chain imported (mined locally or received
+    /// from a peer). Side-chain blocks are recorded too — a later reorg
+    /// may promote them.
+    ///
+    /// # Errors
+    ///
+    /// As [`NodeJournal::record_transaction`].
+    fn record_block(&mut self, block: &Block) -> Result<(), String>;
+}
+
 /// A single node of the private DRAMS chain.
 ///
 /// # Example
@@ -36,6 +68,7 @@ pub struct Node {
     chain: Blockchain,
     mempool: Mempool,
     host: ContractHost,
+    journal: Option<Box<dyn NodeJournal>>,
 }
 
 impl std::fmt::Debug for Node {
@@ -58,12 +91,26 @@ impl Node {
             chain,
             mempool: Mempool::new(),
             host,
+            journal: None,
         }
     }
 
     /// Registers a smart contract.
     pub fn register_contract(&mut self, contract: Box<dyn SmartContract>) {
         self.host.register(contract);
+    }
+
+    /// Attaches a write-ahead journal: from now on every accepted
+    /// transaction and imported block is recorded through it.
+    pub fn set_journal(&mut self, journal: Box<dyn NodeJournal>) {
+        self.journal = Some(journal);
+    }
+
+    /// Detaches and returns the journal, if one was attached — used by
+    /// crash-recovery harnesses to reuse the journal's backing log for
+    /// the restarted node.
+    pub fn take_journal(&mut self) -> Option<Box<dyn NodeJournal>> {
+        self.journal.take()
     }
 
     /// The underlying chain (read-only).
@@ -118,6 +165,13 @@ impl Node {
         if self.chain.config().verify_signatures {
             tx.verify_signature()?;
         }
+        if let Some(journal) = &mut self.journal {
+            // Write-ahead: journal before the mempool accepts. A record
+            // the mempool then rejects is harmless on replay.
+            journal
+                .record_transaction(&tx)
+                .map_err(ChainError::Journal)?;
+        }
         self.mempool.add(tx)
     }
 
@@ -135,6 +189,15 @@ impl Node {
         let height = self.chain.tip_header().height + 1;
         let bits = self.chain.required_difficulty(&parent)?;
         let block = Block::mine(parent, height, txs, timestamp_ms, bits);
+        if let Some(journal) = &mut self.journal {
+            // Write-ahead, like transactions: the mined block is durable
+            // before the chain advances, so a journal failure (or a
+            // crash between the two steps) never leaves the in-memory
+            // tip ahead of the durable log. Replaying a journaled block
+            // whose import below then failed is safe — a self-mined
+            // block imports deterministically.
+            journal.record_block(&block).map_err(ChainError::Journal)?;
+        }
         self.chain.import(block.clone())?;
         self.host.sync_with(&self.chain);
         Ok(block)
@@ -145,9 +208,17 @@ impl Node {
     ///
     /// # Errors
     ///
-    /// Any [`ChainError`] from validation.
+    /// Any [`ChainError`] from validation, or [`ChainError::Journal`]
+    /// when the block imported but could not be made durable (the
+    /// in-memory state is consistent; only the journal is behind).
     pub fn receive_block(&mut self, block: Block) -> Result<ImportOutcome, ChainError> {
         let ids: Vec<TxId> = block.transactions.iter().map(Transaction::id).collect();
+        // Peer blocks cannot be journaled write-ahead: import may
+        // legitimately reject them, and junk records would poison
+        // replay. Journal write-behind instead, only after the mempool
+        // prune and contract sync settle, so a journal failure leaves
+        // the in-memory node fully consistent.
+        let journaled = self.journal.is_some().then(|| block.clone());
         let outcome = self.chain.import(block)?;
         if !matches!(
             outcome,
@@ -155,6 +226,13 @@ impl Node {
         ) {
             self.mempool.prune(ids.iter());
             self.host.sync_with(&self.chain);
+        }
+        if !matches!(outcome, ImportOutcome::AlreadyKnown) {
+            if let (Some(journal), Some(block)) = (&mut self.journal, &journaled) {
+                // Side-chain blocks are journaled too: a later reorg may
+                // promote them, and replay re-runs the same fork choice.
+                journal.record_block(block).map_err(ChainError::Journal)?;
+            }
         }
         Ok(outcome)
     }

@@ -21,13 +21,28 @@ use crate::logent::{LogEntry, ObservationPoint, ProbeId};
 use drams_analysis::verify::{DecisionVerifier, Verdict, Violation};
 use drams_chain::node::Node;
 use drams_crypto::aead::SymmetricKey;
-use drams_crypto::codec::{Decode, Reader};
+use drams_crypto::codec::{Decode, Reader, Writer};
 use drams_crypto::schnorr::Keypair;
 use drams_faas::des::SimTime;
 use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use drams_policy::decision::Decision;
+use drams_policy::parser::{parse_policy_set, to_source};
 use drams_policy::policy::PolicySet;
+use drams_store::{SnapshotStore, StoreError};
 use std::collections::BTreeMap;
+
+/// One recorded policy-administration action, kept so a verification
+/// checkpoint can replay the authorised-version history exactly.
+#[derive(Debug, Clone)]
+enum PolicyLogEntry {
+    /// [`Analyser::publish_authorised_policy`] at a virtual time.
+    /// ([`Analyser::set_authorised_policy`] needs no variant: it resets
+    /// `initial_policy` and clears the log instead.)
+    Publish(String, SimTime),
+}
+
+/// Version byte of the checkpoint encoding.
+const CHECKPOINT_VERSION: u8 = 1;
 
 /// The DRAMS Analyser.
 pub struct Analyser {
@@ -42,6 +57,16 @@ pub struct Analyser {
     /// old tip forces a re-audit from the fork point.
     audited_tip: drams_chain::block::BlockHash,
     audited_txs: u64,
+    /// The initial authorised policy and every later administration
+    /// action, as parser source text — the durable form of the
+    /// verifier's authorised-version history.
+    initial_policy: String,
+    policy_log: Vec<PolicyLogEntry>,
+    /// Optional durable checkpoint. When attached, [`Analyser::checkpoint`]
+    /// persists cursors, probe keys and policy history, and
+    /// [`Analyser::recover`] resumes a restarted Analyser without
+    /// re-scanning the chain or re-raising alerts.
+    checkpoint_store: Option<SnapshotStore>,
 }
 
 impl std::fmt::Debug for Analyser {
@@ -66,6 +91,7 @@ impl Analyser {
         keypair: Keypair,
         probe_mac_keys: BTreeMap<ProbeId, [u8; 32]>,
     ) -> Self {
+        let initial_policy = to_source(&authorised_policy);
         Analyser {
             verifier: DecisionVerifier::new(authorised_policy),
             key,
@@ -75,6 +101,9 @@ impl Analyser {
             checked_groups: 0,
             audited_tip: drams_chain::block::BlockHash::ZERO,
             audited_txs: 0,
+            initial_policy,
+            policy_log: Vec::new(),
+            checkpoint_store: None,
         }
     }
 
@@ -100,6 +129,10 @@ impl Analyser {
     /// Updates the authorised policy (legitimate policy administration),
     /// forgetting all previously authorised versions.
     pub fn set_authorised_policy(&mut self, policy: PolicySet) {
+        // `set` forgets all history, so the durable form restarts from
+        // this policy too — the checkpoint stays O(live versions).
+        self.initial_policy = to_source(&policy);
+        self.policy_log.clear();
         self.verifier.set_policy(policy);
     }
 
@@ -109,6 +142,8 @@ impl Analyser {
     /// during legitimate policy churn do not raise false alerts, but a
     /// PDP stuck on a retired version after `now` does.
     pub fn publish_authorised_policy(&mut self, policy: PolicySet, now: SimTime) {
+        self.policy_log
+            .push(PolicyLogEntry::Publish(to_source(&policy), now));
         self.verifier.publish_policy(policy, now);
     }
 
@@ -116,6 +151,127 @@ impl Analyser {
     /// churn: the key is obtained from the joining tenant's TPM).
     pub fn register_probe_key(&mut self, probe: ProbeId, key: [u8; 32]) {
         self.probe_mac_keys.insert(probe, key);
+    }
+
+    /// Attaches a durable checkpoint store and immediately writes a
+    /// first checkpoint, so a crash at any later point finds a valid
+    /// baseline to resume from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot write failures.
+    pub fn attach_checkpoint(&mut self, store: SnapshotStore) -> Result<(), StoreError> {
+        self.checkpoint_store = Some(store);
+        self.checkpoint()
+    }
+
+    /// Detaches and returns the checkpoint store (crash-recovery hook).
+    pub fn detach_checkpoint(&mut self) -> Option<SnapshotStore> {
+        self.checkpoint_store.take()
+    }
+
+    /// Persists the verification checkpoint — event cursor, checked-group
+    /// and audit counters, the audited tip hash, probe MAC keys and the
+    /// authorised-policy history — if a store is attached (no-op
+    /// otherwise). Deployments decide the cadence and the failure
+    /// policy: the scenario runtime checkpoints after every poll,
+    /// provisioning event and policy publication, and treats a write
+    /// failure as fatal there; a library caller may instead retry or
+    /// degrade (the only cost of a stale checkpoint is re-checking —
+    /// and thus re-reporting — groups completed since it was written).
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot write failures.
+    pub fn checkpoint(&mut self) -> Result<(), StoreError> {
+        let Some(store) = &mut self.checkpoint_store else {
+            return Ok(());
+        };
+        let mut w = Writer::new();
+        w.put_u8(CHECKPOINT_VERSION);
+        w.put_u64(self.event_cursor as u64);
+        w.put_u64(self.checked_groups);
+        w.put_raw(self.audited_tip.as_bytes());
+        w.put_u64(self.audited_txs);
+        w.put_varint(self.probe_mac_keys.len() as u64);
+        for (probe, key) in &self.probe_mac_keys {
+            w.put_u32(probe.0);
+            w.put_raw(key);
+        }
+        w.put_str(&self.initial_policy);
+        w.put_varint(self.policy_log.len() as u64);
+        for entry in &self.policy_log {
+            let PolicyLogEntry::Publish(text, at) = entry;
+            w.put_u8(1);
+            w.put_str(text);
+            w.put_u64(*at);
+        }
+        store.save(self.checked_groups, &w.into_bytes())
+    }
+
+    /// Rebuilds an Analyser from its checkpoint: the policy history is
+    /// replayed through the verifier (reconstructing every authorised
+    /// version with its supersession time) and the chain cursors resume
+    /// where the last checkpoint left them — no re-scan, no re-alerting.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] when no checkpoint was ever written;
+    /// [`StoreError::Corrupt`]/[`StoreError::Codec`] when it does not
+    /// decode.
+    pub fn recover(
+        key: SymmetricKey,
+        keypair: Keypair,
+        store: SnapshotStore,
+    ) -> Result<Self, StoreError> {
+        let Some((_, bytes)) = store.load()? else {
+            return Err(StoreError::NotFound("analyser checkpoint".into()));
+        };
+        let codec = |e: drams_crypto::CryptoError| StoreError::Codec(e.to_string());
+        let mut r = Reader::new(&bytes);
+        let version = r.get_u8().map_err(codec)?;
+        if version != CHECKPOINT_VERSION {
+            return Err(StoreError::Codec(format!(
+                "unsupported checkpoint version {version}"
+            )));
+        }
+        let event_cursor = r.get_u64().map_err(codec)? as usize;
+        let checked_groups = r.get_u64().map_err(codec)?;
+        let audited_tip = drams_chain::block::BlockHash::from(r.get_array::<32>().map_err(codec)?);
+        let audited_txs = r.get_u64().map_err(codec)?;
+        let probes = r.get_varint().map_err(codec)?;
+        let mut probe_mac_keys = BTreeMap::new();
+        for _ in 0..probes {
+            let id = ProbeId(r.get_u32().map_err(codec)?);
+            probe_mac_keys.insert(id, r.get_array::<32>().map_err(codec)?);
+        }
+        let initial_policy = r.get_str().map_err(codec)?;
+        let parse = |text: &str| {
+            parse_policy_set(text)
+                .map_err(|e| StoreError::Codec(format!("checkpointed policy: {e}")))
+        };
+        let mut analyser = Analyser::new(parse(&initial_policy)?, key, keypair, probe_mac_keys);
+        let entries = r.get_varint().map_err(codec)?;
+        for _ in 0..entries {
+            let kind = r.get_u8().map_err(codec)?;
+            let text = r.get_str().map_err(codec)?;
+            let at = r.get_u64().map_err(codec)?;
+            match kind {
+                1 => analyser.publish_authorised_policy(parse(&text)?, at),
+                other => {
+                    return Err(StoreError::Codec(format!(
+                        "unknown policy-log entry kind {other}"
+                    )))
+                }
+            }
+        }
+        r.finish().map_err(codec)?;
+        analyser.event_cursor = event_cursor;
+        analyser.checked_groups = checked_groups;
+        analyser.audited_tip = audited_tip;
+        analyser.audited_txs = audited_txs;
+        analyser.checkpoint_store = Some(store);
+        Ok(analyser)
     }
 
     /// Consumes new `group.complete` events from `node`, verifies each
@@ -653,6 +809,60 @@ mod tests {
         run_group(&mut r, 7, "doctor", resp, true);
         r.analyser.poll(&mut r.node, 2_000);
         assert_eq!(r.analyser.checked_groups(), 2);
+    }
+
+    #[test]
+    fn recovered_analyser_resumes_without_rescanning_or_realerts() {
+        use drams_store::{MemBackend, SnapshotStore};
+
+        let mut r = rig();
+        r.analyser
+            .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
+            .unwrap();
+        // One dirty group (would alert) and one clean one, both polled
+        // and therefore checkpointed as already-checked.
+        let lie = Response::new(drams_policy::decision::ExtDecision::Permit, vec![]);
+        run_group(&mut r, 1, "nurse", lie, true);
+        let alerts = r.analyser.poll(&mut r.node, 2_000);
+        assert_eq!(alerts.len(), 1);
+        run_group(&mut r, 2, "doctor", honest_response("doctor"), true);
+        assert!(r.analyser.poll(&mut r.node, 3_000).is_empty());
+        let checked = r.analyser.checked_groups();
+        let audited = r.analyser.audited_txs();
+        // Publish a stricter authorised policy, then crash.
+        r.analyser
+            .publish_authorised_policy(crate::monitor::default_policy(), 3_500);
+        r.analyser.checkpoint().unwrap();
+        let store = r.analyser.detach_checkpoint().unwrap();
+
+        let mut recovered =
+            Analyser::recover(r.key.clone(), Keypair::from_seed(b"analyser"), store).unwrap();
+        assert_eq!(recovered.checked_groups(), checked);
+        assert_eq!(recovered.audited_txs(), audited);
+        // Polling the same chain re-raises nothing: the dirty group was
+        // already checked before the crash.
+        assert!(
+            recovered.poll(&mut r.node, 4_000).is_empty(),
+            "a recovered analyser must not re-alert"
+        );
+        assert_eq!(recovered.checked_groups(), checked);
+        // New groups after recovery are still checked (with the policy
+        // history intact: the new authorised version applies).
+        run_group(&mut r, 3, "doctor", honest_response("doctor"), true);
+        assert!(recovered.poll(&mut r.node, 5_000).is_empty());
+        assert_eq!(recovered.checked_groups(), checked + 1);
+    }
+
+    #[test]
+    fn recover_without_checkpoint_is_not_found() {
+        use drams_store::{MemBackend, SnapshotStore, StoreError};
+        let err = Analyser::recover(
+            SymmetricKey::from_bytes([3; 32]),
+            Keypair::from_seed(b"analyser"),
+            SnapshotStore::new(Box::new(MemBackend::new())),
+        )
+        .unwrap_err();
+        assert!(matches!(err, StoreError::NotFound(_)));
     }
 
     #[test]

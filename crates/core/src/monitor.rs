@@ -210,6 +210,9 @@ pub struct MonitorReport {
     pub entries_logged: u64,
     /// Policy versions activated over the run (1 = no churn).
     pub policy_activations: u64,
+    /// Scripted crash-restarts executed (E11 recovery scenarios); 0 in
+    /// the canonical scenario.
+    pub crash_restarts: u64,
     /// Virtual time at which the run ended.
     pub finished_at: SimTime,
 }

@@ -9,7 +9,7 @@
 //! controller. Services share nothing but the simulation context
 //! ([`measurement sinks`](crate::monitor::MonitorReport) and the chain
 //! substrate); everything between them travels as a typed scheduled
-//! event ([`Msg`]).
+//! event (the private `Msg` enum below).
 //!
 //! On top of the services sits the declarative [`ScenarioSpec`] layer:
 //! phased arrival rates, mid-run policy publication/rollback through the
@@ -56,9 +56,13 @@ use drams_faas::prp::Prp;
 use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary};
 use drams_policy::attr::Request;
 use drams_policy::policy::PolicySet;
+use drams_store::persist::{recover_node, WalJournal};
+use drams_store::{Durability, MemBackend, SnapshotStore, Wal, WalConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::rc::Rc;
 
 /// Probe ids `>= PDP_PROBE_BASE` belong to per-cloud PDP probes; member
 /// PEP probes count up from 1 and the central PDP probe is 0, as in the
@@ -202,6 +206,34 @@ pub enum ScriptedAction {
         /// [`PdpPlacement::Central`]).
         cloud: CloudId,
     },
+    /// Fault: a monitoring-plane service crashes, losing all in-memory
+    /// state, and restarts from its durable store (the chain node's
+    /// write-ahead journal, the LI's backlog WAL, the Analyser's
+    /// verification checkpoint). The E11 acceptance bar is that the run
+    /// then proceeds **byte-identically** to the uninterrupted run —
+    /// recovery loses nothing and repeats nothing.
+    CrashRestart {
+        /// When the crash-and-restart happens (the restart is modelled
+        /// as instantaneous in virtual time; events in flight to the
+        /// service are delivered to the recovered instance).
+        at: SimTime,
+        /// Which service crashes.
+        target: CrashTarget,
+    },
+}
+
+/// The service a [`ScriptedAction::CrashRestart`] kills and restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashTarget {
+    /// The blockchain node: chain, contract state and mempool are
+    /// rebuilt by replaying its write-ahead journal.
+    ChainNode,
+    /// A tenant's Logging Interface ([`TenantId::INFRASTRUCTURE`] = the
+    /// infra LI): the unflushed batch backlog is recovered from its WAL.
+    Li(TenantId),
+    /// The Analyser: resumes from its verification checkpoint without
+    /// re-scanning the chain or re-raising alerts.
+    Analyser,
 }
 
 impl ScriptedAction {
@@ -214,7 +246,8 @@ impl ScriptedAction {
             | ScriptedAction::TenantJoin { at, .. }
             | ScriptedAction::TenantLeave { at, .. }
             | ScriptedAction::StallLi { at, .. }
-            | ScriptedAction::SilencePdp { at, .. } => *at,
+            | ScriptedAction::SilencePdp { at, .. }
+            | ScriptedAction::CrashRestart { at, .. } => *at,
         }
     }
 }
@@ -303,14 +336,19 @@ enum Msg {
     ProvisionLi {
         li: usize,
     },
+    CrashLi {
+        li: usize,
+    },
     // → chain service
     MineTick,
+    CrashChain,
     // → analyser service
     AnalyserTick,
     AnalyserPolicy(PolicySet),
     ProvisionProbeKey {
         probe: ProbeId,
     },
+    CrashAnalyser,
     // → scenario controller
     Script(usize),
     ActivateTenant {
@@ -336,9 +374,13 @@ fn route(msg: &Msg) -> usize {
         Msg::LiDeliver { .. }
         | Msg::LiFlushTick { .. }
         | Msg::StallLi { .. }
-        | Msg::ProvisionLi { .. } => SVC_LI,
-        Msg::MineTick => SVC_CHAIN,
-        Msg::AnalyserTick | Msg::AnalyserPolicy(_) | Msg::ProvisionProbeKey { .. } => SVC_ANALYSER,
+        | Msg::ProvisionLi { .. }
+        | Msg::CrashLi { .. } => SVC_LI,
+        Msg::MineTick | Msg::CrashChain => SVC_CHAIN,
+        Msg::AnalyserTick
+        | Msg::AnalyserPolicy(_)
+        | Msg::ProvisionProbeKey { .. }
+        | Msg::CrashAnalyser => SVC_ANALYSER,
         Msg::Script(_) | Msg::ActivateTenant { .. } => SVC_CONTROLLER,
     }
 }
@@ -361,6 +403,10 @@ struct TenantRuntime {
 /// chain substrate and the routing tables that the controller maintains.
 struct Ctx<'a> {
     node: Node,
+    /// The node's write-ahead journal, shared with the [`WalJournal`]
+    /// attached to `node` — kept here so a `CrashRestart` of the chain
+    /// service can replay it into the restarted node.
+    node_wal: Rc<RefCell<Wal>>,
     report: MonitorReport,
     truth: GroundTruth,
     adversary: &'a mut dyn Adversary,
@@ -679,13 +725,29 @@ struct LiService {
 }
 
 impl LiService {
+    /// The durable-backlog WAL every LI writes ahead to (in-memory
+    /// medium inside the simulation, flushed record-by-record so a crash
+    /// loses nothing the LI acknowledged).
+    fn backlog_wal() -> Wal {
+        Wal::open(
+            Box::new(MemBackend::new()),
+            WalConfig {
+                segment_records: 64,
+                durability: Durability::Flushed,
+            },
+        )
+        .expect("fresh in-memory wal")
+    }
+
     fn push_li(&mut self, name: &str) {
-        self.lis.push(LoggingInterface::new(
+        let mut li = LoggingInterface::new(
             name.to_string(),
             self.key.clone(),
             Keypair::from_seed(name.as_bytes()),
             self.batch_size,
-        ));
+        );
+        li.attach_backlog(Self::backlog_wal());
+        self.lis.push(li);
         self.pending.push(Vec::new());
         self.backlog.push(Vec::new());
         self.stalled_until.push(0);
@@ -738,6 +800,35 @@ impl<'a> SimService<Msg, Ctx<'a>> for LiService {
                 self.push_li(&format!("li-{li}"));
                 out.emit(self.flush_interval, Msg::LiFlushTick { li });
             }
+            Msg::CrashLi { li } => {
+                // The LI process dies: its buffer is gone, its WAL — on
+                // durable storage — survives (with whatever a power cut
+                // preserves under the configured durability). Entries
+                // queued at a *stalled* LI live only in the process and
+                // were never acknowledged into the WAL, so a crash
+                // during a stall window honestly loses them — the
+                // monitor then surfaces the loss as MissingLog alerts.
+                self.backlog[li].clear();
+                let mut wal = self.lis[li].detach_backlog().expect("li backlog attached");
+                wal.simulate_crash().expect("li wal recovery");
+                let name = format!("li-{li}");
+                self.lis[li] = LoggingInterface::recover(
+                    name.clone(),
+                    self.key.clone(),
+                    Keypair::from_seed(name.as_bytes()),
+                    self.batch_size,
+                    wal,
+                )
+                .expect("li recovery");
+                // Measurement bookkeeping: the pending observation times
+                // are a pure function of the recovered buffer.
+                self.pending[li] = self.lis[li]
+                    .buffered_entries()
+                    .iter()
+                    .map(|e| e.observed_at)
+                    .collect();
+                ctx.report.crash_restarts += 1;
+            }
             _ => unreachable!("misrouted event"),
         }
     }
@@ -750,10 +841,33 @@ struct ChainService {
     epoch_blocks: u64,
     block_interval: SimTime,
     event_cursor: usize,
+    /// The chain configuration of the deployment — a crashed node is
+    /// rebuilt with the same parameters before the journal replays.
+    chain_config: ChainConfig,
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
     fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        if matches!(msg, Msg::CrashChain) {
+            // The node process dies: chain, contract state and mempool
+            // are gone; the write-ahead journal survives. Replaying it
+            // reconstructs all three exactly, and the recovered node
+            // resumes journaling on the same log.
+            ctx.node_wal
+                .borrow_mut()
+                .simulate_crash()
+                .expect("node wal recovery");
+            let mut node = recover_node(
+                &ctx.node_wal.borrow(),
+                self.chain_config.clone(),
+                vec![Box::new(MonitorContract)],
+            )
+            .expect("chain node recovery");
+            node.set_journal(Box::new(WalJournal::new(ctx.node_wal.clone())));
+            ctx.node = node;
+            ctx.report.crash_restarts += 1;
+            return;
+        }
         debug_assert!(matches!(msg, Msg::MineTick));
         let next_height = ctx.node.chain().tip_header().height + 1;
         if self.epoch_blocks > 0 && next_height % self.epoch_blocks == 0 {
@@ -807,6 +921,9 @@ impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
 struct AnalyserService {
     analyser: Analyser,
     poll_interval: SimTime,
+    /// The federation key, re-provisioned to a restarted Analyser (in a
+    /// real deployment it would come back from the tenant TPMs).
+    key: SymmetricKey,
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for AnalyserService {
@@ -814,16 +931,40 @@ impl<'a> SimService<Msg, Ctx<'a>> for AnalyserService {
         match msg {
             Msg::AnalyserTick => {
                 let _ = self.analyser.poll(&mut ctx.node, now);
+                // The poll's progress becomes durable before anything
+                // else observes it: a crash after this point resumes
+                // here, never re-checks, never re-alerts.
+                self.analyser.checkpoint().expect("analyser checkpoint");
                 if out.within_deadline(now) {
                     out.emit(self.poll_interval, Msg::AnalyserTick);
                 }
             }
             Msg::AnalyserPolicy(policy) => {
                 self.analyser.publish_authorised_policy(policy, now);
+                // Authorisation state must be durable before the crash
+                // window, not just at the next poll.
+                self.analyser.checkpoint().expect("analyser checkpoint");
             }
             Msg::ProvisionProbeKey { probe } => {
                 self.analyser
                     .register_probe_key(probe, probe_mac_key(probe));
+                self.analyser.checkpoint().expect("analyser checkpoint");
+            }
+            Msg::CrashAnalyser => {
+                // The Analyser process dies; its checkpoint store
+                // survives. Recovery resumes the cursors and the
+                // authorised-policy history — no re-scan, no re-alert.
+                let store = self
+                    .analyser
+                    .detach_checkpoint()
+                    .expect("analyser checkpoint attached");
+                self.analyser = Analyser::recover(
+                    self.key.clone(),
+                    Keypair::from_seed(b"drams-analyser"),
+                    store,
+                )
+                .expect("analyser recovery");
+                ctx.report.crash_restarts += 1;
             }
             _ => unreachable!("misrouted event"),
         }
@@ -921,6 +1062,23 @@ impl<'a> SimService<Msg, Ctx<'a>> for Controller {
                     let slot = self.pdp_slot_for(ctx, cloud);
                     out.emit(0, Msg::SilencePdp { slot, until });
                 }
+                ScriptedAction::CrashRestart { target, .. } => match target {
+                    CrashTarget::ChainNode => out.emit(0, Msg::CrashChain),
+                    CrashTarget::Analyser => out.emit(0, Msg::CrashAnalyser),
+                    CrashTarget::Li(tenant) => {
+                        let li = if tenant.is_infrastructure() {
+                            self.infra_li
+                        } else {
+                            let idx = ctx
+                                .tenants
+                                .iter()
+                                .position(|t| t.spec.id == tenant)
+                                .expect("script crashes an existing tenant's LI");
+                            ctx.li_of_tenant[idx]
+                        };
+                        out.emit(0, Msg::CrashLi { li });
+                    }
+                },
             },
             Msg::ActivateTenant { tenant } => {
                 if !ctx.tenants[tenant].departed {
@@ -1041,13 +1199,29 @@ pub fn run_scenario<A: Adversary>(
     // --- chain -------------------------------------------------------------
     let admin = Keypair::from_seed(b"drams-admin");
     let analyser_kp = Keypair::from_seed(b"drams-analyser");
-    let mut node = Node::new(ChainConfig {
+    let chain_config = ChainConfig {
         initial_difficulty_bits: 0,
         retarget_interval: 0,
         max_block_txs: 4096,
         ..ChainConfig::default()
-    });
+    };
+    // The node journals write-ahead into a shared WAL (in-memory medium,
+    // synced per record) from the very first transaction, so a scripted
+    // `CrashRestart` of the chain service can rebuild chain, contract
+    // state and mempool at any point of the run.
+    let node_wal = Rc::new(RefCell::new(
+        Wal::open(
+            Box::new(MemBackend::new()),
+            WalConfig {
+                segment_records: 256,
+                durability: Durability::Flushed,
+            },
+        )
+        .expect("fresh in-memory wal"),
+    ));
+    let mut node = Node::new(chain_config.clone());
     node.register_contract(Box::new(MonitorContract));
+    node.set_journal(Box::new(WalJournal::new(node_wal.clone())));
     if config.monitoring_enabled {
         node.submit_call(
             &admin,
@@ -1059,7 +1233,10 @@ pub fn run_scenario<A: Adversary>(
         node.mine_block(0).expect("genesis follow-up");
     }
     let event_cursor = node.events().len();
-    let analyser = Analyser::new(authorised, key.clone(), analyser_kp, probe_mac_keys);
+    let mut analyser = Analyser::new(authorised, key.clone(), analyser_kp, probe_mac_keys);
+    analyser
+        .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
+        .expect("analyser checkpoint");
 
     // --- context -----------------------------------------------------------
     let pep_pdp = match spec.placement {
@@ -1069,6 +1246,7 @@ pub fn run_scenario<A: Adversary>(
     };
     let mut ctx = Ctx {
         node,
+        node_wal,
         report,
         truth,
         adversary,
@@ -1136,10 +1314,12 @@ pub fn run_scenario<A: Adversary>(
         epoch_blocks: config.epoch_blocks,
         block_interval: config.block_interval,
         event_cursor,
+        chain_config,
     }));
     rt.register(Box::new(AnalyserService {
         analyser,
         poll_interval: config.analyser_poll_interval,
+        key: key.clone(),
     }));
     rt.register(Box::new(Controller {
         script: spec.script.clone(),
@@ -1505,6 +1685,114 @@ mod tests {
             config.horizon / SECONDS,
             report.finished_at
         );
+    }
+
+    #[test]
+    fn crash_restarts_are_byte_identical_to_the_uninterrupted_run() {
+        use drams_crypto::codec::Encode;
+        let mut config = base_config();
+        config.total_requests = 60;
+        let (clean, clean_truth) =
+            run_scenario(&ScenarioSpec::canonical(&config), &mut NoAdversary);
+        for target in [
+            CrashTarget::ChainNode,
+            CrashTarget::Li(TenantId(1)),
+            CrashTarget::Li(TenantId::INFRASTRUCTURE),
+            CrashTarget::Analyser,
+        ] {
+            let spec = ScenarioSpec {
+                script: vec![ScriptedAction::CrashRestart {
+                    at: 250 * MILLIS,
+                    target,
+                }],
+                ..ScenarioSpec::canonical(&config)
+            };
+            let (crashed, crashed_truth) = run_scenario(&spec, &mut NoAdversary);
+            assert_eq!(crashed.crash_restarts, 1, "{target:?}");
+            assert_eq!(clean_truth, crashed_truth, "{target:?}");
+            assert_eq!(
+                clean.requests_completed, crashed.requests_completed,
+                "{target:?}"
+            );
+            assert_eq!(clean.entries_logged, crashed.entries_logged, "{target:?}");
+            assert_eq!(
+                clean.groups_completed, crashed.groups_completed,
+                "{target:?}"
+            );
+            assert_eq!(clean.txs_committed, crashed.txs_committed, "{target:?}");
+            assert_eq!(clean.finished_at, crashed.finished_at, "{target:?}");
+            let a: Vec<Vec<u8>> = clean
+                .alerts
+                .iter()
+                .map(Encode::to_canonical_bytes)
+                .collect();
+            let b: Vec<Vec<u8>> = crashed
+                .alerts
+                .iter()
+                .map(Encode::to_canonical_bytes)
+                .collect();
+            assert_eq!(a, b, "{target:?}: recovery must lose and repeat nothing");
+        }
+    }
+
+    #[test]
+    fn li_crash_during_a_stall_loses_queued_entries_and_alerts() {
+        // Entries delivered to a *stalled* LI queue in process memory
+        // and are never WAL-acknowledged; a crash during the stall
+        // loses them, and the monitor must surface that as MissingLog
+        // alerts rather than silently resurrecting the data.
+        let mut config = base_config();
+        config.total_requests = 60;
+        config.group_timeout = 2 * SECONDS;
+        let spec = ScenarioSpec {
+            script: vec![
+                ScriptedAction::StallLi {
+                    at: 0,
+                    until: 600 * MILLIS,
+                    tenant: TenantId(1),
+                },
+                ScriptedAction::CrashRestart {
+                    at: 300 * MILLIS, // mid-stall, with entries queued
+                    target: CrashTarget::Li(TenantId(1)),
+                },
+            ],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0, "a fault is not an attack");
+        assert_eq!(report.crash_restarts, 1);
+        assert!(
+            report
+                .alerts
+                .iter()
+                .any(|a| matches!(a.kind, crate::alert::AlertKind::MissingLog { .. })),
+            "lost stalled entries must surface as MissingLog: {:?}",
+            report.alerts
+        );
+        assert!(report.groups_completed < report.requests_completed);
+    }
+
+    #[test]
+    fn chain_crash_with_pending_mempool_recovers_the_backlog() {
+        // Crash the node right before a mine tick: whatever the LIs
+        // submitted since the last block sits in the mempool and must
+        // come back from the journal, or groups would be lost for good.
+        let mut config = base_config();
+        config.total_requests = 80;
+        config.request_rate_per_sec = 400.0; // dense traffic between blocks
+        let spec = ScenarioSpec {
+            script: vec![ScriptedAction::CrashRestart {
+                at: 499 * MILLIS, // one tick before the 500 ms block
+                target: CrashTarget::ChainNode,
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0);
+        assert_eq!(report.requests_completed, 80);
+        assert_eq!(report.groups_completed, 80, "no group may be lost");
+        assert_eq!(report.entries_logged, 320);
+        assert!(report.alerts.is_empty(), "alerts: {:?}", report.alerts);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   policy is mapped to a dense `u32` symbol.
 //! * [`CompiledExpr`] — expressions flattened into an arena (one `Vec`
 //!   of nodes + one `Vec` of argument indices, no per-node boxing),
-//!   evaluated borrow-first through [`ValueView`]: literals and request
+//!   evaluated borrow-first through the crate-internal `ValueView`: literals and request
 //!   bags are borrowed, owned values exist only for computed results.
 //! * [`PreparedRequest`] — the request's bags re-indexed by symbol, so
 //!   every attribute lookup during evaluation is one array access.

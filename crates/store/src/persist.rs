@@ -1,0 +1,278 @@
+//! Chain-node persistence: the node's write-ahead journal and recovery.
+//!
+//! [`WalJournal`] implements [`drams_chain::node::NodeJournal`] over a
+//! shared [`Wal`]: every transaction the node accepts and every block it
+//! imports becomes one tagged, checksummed WAL record. [`recover_node`]
+//! replays that log into a fresh node — transactions re-submitted, blocks
+//! re-imported, in recorded order — reconstructing chain, contract state
+//! *and* mempool exactly as they were when the journal was last synced.
+//!
+//! The journal is shared via `Rc<RefCell<…>>` so a crash-recovery harness
+//! can keep the log alive across the simulated death of the node that
+//! writes to it (the scenario runtime's `CrashRestart` does exactly
+//! this).
+//!
+//! # Example
+//!
+//! ```
+//! use std::cell::RefCell;
+//! use std::rc::Rc;
+//! use drams_chain::chain::ChainConfig;
+//! use drams_chain::contract::KvStoreContract;
+//! use drams_chain::node::Node;
+//! use drams_crypto::schnorr::Keypair;
+//! use drams_store::backend::MemBackend;
+//! use drams_store::persist::{recover_node, WalJournal};
+//! use drams_store::wal::{Wal, WalConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let config = ChainConfig { initial_difficulty_bits: 0, retarget_interval: 0,
+//!                            ..ChainConfig::default() };
+//! let wal = Rc::new(RefCell::new(Wal::open(
+//!     Box::new(MemBackend::new()), WalConfig::default())?));
+//!
+//! let mut node = Node::new(config.clone());
+//! node.register_contract(Box::new(KvStoreContract));
+//! node.set_journal(Box::new(WalJournal::new(wal.clone())));
+//! let kp = Keypair::from_seed(b"doc-li");
+//! node.submit_call(&kp, "kvstore", "put", b"entry".to_vec())?;
+//! node.mine_block(1_000)?;
+//! node.submit_call(&kp, "kvstore", "put", b"pending".to_vec())?;
+//! drop(node); // the process dies
+//!
+//! let recovered = recover_node(&wal.borrow(), config, vec![Box::new(KvStoreContract)])?;
+//! assert_eq!(recovered.chain().tip_header().height, 1);
+//! assert_eq!(recovered.mempool_len(), 1, "pending tx survives via the WAL");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::StoreError;
+use crate::wal::Wal;
+use drams_chain::block::Block;
+use drams_chain::chain::ChainConfig;
+use drams_chain::contract::SmartContract;
+use drams_chain::error::ChainError;
+use drams_chain::node::{Node, NodeJournal};
+use drams_chain::tx::Transaction;
+use drams_crypto::codec::{Decode, Encode};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Record tag: the payload is a canonical [`Transaction`].
+pub const TAG_TX: u8 = 1;
+/// Record tag: the payload is a canonical [`Block`].
+pub const TAG_BLOCK: u8 = 2;
+
+/// A [`NodeJournal`] writing tagged records into a shared [`Wal`].
+#[derive(Debug)]
+pub struct WalJournal {
+    wal: Rc<RefCell<Wal>>,
+}
+
+impl WalJournal {
+    /// Wraps a shared WAL as a node journal.
+    #[must_use]
+    pub fn new(wal: Rc<RefCell<Wal>>) -> Self {
+        WalJournal { wal }
+    }
+
+    fn record(&mut self, tag: u8, payload: &dyn Encode) -> Result<(), String> {
+        let mut bytes = vec![tag];
+        bytes.extend_from_slice(&payload.to_canonical_bytes());
+        self.wal
+            .borrow_mut()
+            .append(&bytes)
+            .map(|_| ())
+            .map_err(|e| e.to_string())
+    }
+}
+
+impl NodeJournal for WalJournal {
+    fn record_transaction(&mut self, tx: &Transaction) -> Result<(), String> {
+        self.record(TAG_TX, tx)
+    }
+
+    fn record_block(&mut self, block: &Block) -> Result<(), String> {
+        self.record(TAG_BLOCK, block)
+    }
+}
+
+/// Rebuilds a node from its journal: a fresh node with `config` and
+/// `contracts` registered, then every journaled record replayed in
+/// order. The returned node carries **no** journal — attach one (over
+/// the same WAL) with [`Node::set_journal`] to keep journaling.
+///
+/// Replay tolerates exactly the benign duplicates write-ahead journaling
+/// produces (a transaction journaled but then rejected by the mempool,
+/// or pruned into a block earlier in the log); everything else — an
+/// undecodable record, a block the chain refuses — is an error, because
+/// it means the journal does not describe a state this node ever held.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] when the WAL itself is damaged,
+/// [`StoreError::Codec`] when a record does not decode or does not
+/// replay.
+pub fn recover_node(
+    wal: &Wal,
+    config: ChainConfig,
+    contracts: Vec<Box<dyn SmartContract>>,
+) -> Result<Node, StoreError> {
+    let mut node = Node::new(config);
+    for contract in contracts {
+        node.register_contract(contract);
+    }
+    for (seq, record) in wal.replay()? {
+        let Some((&tag, payload)) = record.split_first() else {
+            return Err(StoreError::Codec(format!("empty journal record {seq}")));
+        };
+        match tag {
+            TAG_TX => {
+                let tx = Transaction::from_canonical_bytes(payload)
+                    .map_err(|e| StoreError::Codec(format!("journal record {seq}: {e}")))?;
+                match node.submit_transaction(tx) {
+                    Ok(_) | Err(ChainError::DuplicateTransaction) => {}
+                    Err(e) => {
+                        return Err(StoreError::Codec(format!(
+                            "journal record {seq} does not replay: {e}"
+                        )))
+                    }
+                }
+            }
+            TAG_BLOCK => {
+                let block = Block::from_canonical_bytes(payload)
+                    .map_err(|e| StoreError::Codec(format!("journal record {seq}: {e}")))?;
+                node.receive_block(block).map_err(|e| {
+                    StoreError::Codec(format!("journal record {seq} does not replay: {e}"))
+                })?;
+            }
+            other => {
+                return Err(StoreError::Codec(format!(
+                    "journal record {seq} has unknown tag {other}"
+                )))
+            }
+        }
+    }
+    Ok(node)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{Durability, MemBackend};
+    use crate::wal::WalConfig;
+    use drams_chain::contract::KvStoreContract;
+    use drams_crypto::schnorr::Keypair;
+
+    fn config() -> ChainConfig {
+        ChainConfig {
+            initial_difficulty_bits: 0,
+            retarget_interval: 0,
+            ..ChainConfig::default()
+        }
+    }
+
+    fn journaled_node() -> (Node, Rc<RefCell<Wal>>) {
+        let wal = Rc::new(RefCell::new(
+            Wal::open(
+                Box::new(MemBackend::new()),
+                WalConfig {
+                    segment_records: 8,
+                    durability: Durability::Flushed,
+                },
+            )
+            .unwrap(),
+        ));
+        let mut node = Node::new(config());
+        node.register_contract(Box::new(KvStoreContract));
+        node.set_journal(Box::new(WalJournal::new(wal.clone())));
+        (node, wal)
+    }
+
+    #[test]
+    fn recovered_node_matches_chain_contracts_and_mempool() {
+        let (mut node, wal) = journaled_node();
+        let kp = Keypair::from_seed(b"persist-tests");
+        for i in 0..5 {
+            node.submit_call(&kp, "kvstore", "put", format!("e{i}").into_bytes())
+                .unwrap();
+            if i % 2 == 1 {
+                node.mine_block(1_000 + i).unwrap();
+            }
+        }
+        // One committed-history marker and the live mempool to compare.
+        let tip = node.chain().tip_hash();
+        let events = node.events().len();
+        let pending = node.mempool_len();
+        assert!(pending > 0, "test wants a non-empty mempool");
+        drop(node);
+
+        let recovered =
+            recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        assert_eq!(recovered.chain().tip_hash(), tip);
+        assert_eq!(recovered.events().len(), events);
+        assert_eq!(recovered.mempool_len(), pending);
+        // The recovered node keeps working: mine the pending tail.
+        let mut recovered = recovered;
+        let block = recovered.mine_block(9_999).unwrap();
+        assert_eq!(block.transactions.len(), pending);
+    }
+
+    #[test]
+    fn recovery_after_simulated_crash_loses_nothing_when_flushed() {
+        let (mut node, wal) = journaled_node();
+        let kp = Keypair::from_seed(b"persist-tests");
+        node.submit_call(&kp, "kvstore", "put", b"a".to_vec())
+            .unwrap();
+        node.mine_block(1).unwrap();
+        node.submit_call(&kp, "kvstore", "put", b"b".to_vec())
+            .unwrap();
+        let tip = node.chain().tip_hash();
+        drop(node);
+
+        wal.borrow_mut().simulate_crash().unwrap();
+        let recovered =
+            recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        assert_eq!(recovered.chain().tip_hash(), tip);
+        assert_eq!(recovered.mempool_len(), 1);
+    }
+
+    #[test]
+    fn garbage_journal_record_is_a_typed_error() {
+        let (mut node, wal) = journaled_node();
+        let kp = Keypair::from_seed(b"persist-tests");
+        node.submit_call(&kp, "kvstore", "put", b"a".to_vec())
+            .unwrap();
+        drop(node);
+        wal.borrow_mut().append(&[99, 1, 2, 3]).unwrap();
+        let err =
+            recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(_)), "{err:?}");
+    }
+
+    #[test]
+    fn recovered_node_continues_journaling_on_the_same_wal() {
+        let (mut node, wal) = journaled_node();
+        let kp = Keypair::from_seed(b"persist-tests");
+        node.submit_call(&kp, "kvstore", "put", b"a".to_vec())
+            .unwrap();
+        node.mine_block(1).unwrap();
+        drop(node);
+
+        let mut recovered =
+            recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        recovered.set_journal(Box::new(WalJournal::new(wal.clone())));
+        recovered
+            .submit_call(&kp, "kvstore", "put", b"c".to_vec())
+            .unwrap();
+        recovered.mine_block(2).unwrap();
+        let tip = recovered.chain().tip_hash();
+        drop(recovered);
+
+        // A second recovery sees the whole combined history.
+        let again = recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        assert_eq!(again.chain().tip_hash(), tip);
+        assert_eq!(again.chain().tip_header().height, 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! On-disk segment format: header, record framing, and the recovery scan.
+//!
+//! A segment file is a fixed header followed by a run of length-prefixed,
+//! checksummed records:
+//!
+//! ```text
+//! ┌──────────── segment header (24 bytes) ────────────┐
+//! │ magic "DRSG" │ version u32 │ index u64 │ first_seq u64 │
+//! ├──────────────────── record 0 ─────────────────────┤
+//! │ len u32 │ crc32(payload) u32 │ payload (len bytes) │
+//! ├──────────────────── record 1 ─────────────────────┤
+//! │ …                                                  │
+//! ```
+//!
+//! All integers are big-endian. The CRC is IEEE CRC-32 over the payload
+//! bytes only (the length is implicitly covered: a corrupted length either
+//! lands mid-payload, failing the CRC, or runs past EOF, failing framing).
+//!
+//! Recovery semantics ([`scan`]) distinguish two kinds of damage:
+//!
+//! * **Torn tail** — the damage is at the physical end of the file (an
+//!   incomplete header, an incomplete record frame, or a checksum failure
+//!   on the *final* record). This is what a crash mid-write produces; the
+//!   scan reports the longest valid prefix and the caller truncates to it.
+//! * **Mid-segment corruption** — a record fails its checksum but more
+//!   bytes follow it. A crash cannot produce that shape, so it surfaces
+//!   as [`StoreError::Corrupt`], never as a silent skip.
+
+use crate::error::StoreError;
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: [u8; 4] = *b"DRSG";
+/// Current segment format version.
+pub const SEGMENT_VERSION: u32 = 1;
+/// Size of the fixed segment header in bytes.
+pub const HEADER_LEN: usize = 24;
+/// Size of a record frame (length + checksum) in bytes.
+pub const FRAME_LEN: usize = 8;
+
+const CRC_TABLE: [u32; 256] = build_crc_table();
+
+const fn build_crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// IEEE CRC-32 of `bytes`.
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ u32::from(b)) & 0xff) as usize];
+    }
+    !crc
+}
+
+/// The decoded fixed header of a segment file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentHeader {
+    /// Monotone segment index within the log.
+    pub index: u64,
+    /// Global sequence number of the segment's first record.
+    pub first_seq: u64,
+}
+
+impl SegmentHeader {
+    /// Encodes the header.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; HEADER_LEN] {
+        let mut out = [0u8; HEADER_LEN];
+        out[..4].copy_from_slice(&SEGMENT_MAGIC);
+        out[4..8].copy_from_slice(&SEGMENT_VERSION.to_be_bytes());
+        out[8..16].copy_from_slice(&self.index.to_be_bytes());
+        out[16..24].copy_from_slice(&self.first_seq.to_be_bytes());
+        out
+    }
+}
+
+/// Frames one record (length + checksum + payload) into `out`.
+pub fn frame_record(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    out.extend_from_slice(&crc32(payload).to_be_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// What a recovery scan found in one segment file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanOutcome {
+    /// The decoded header.
+    pub header: SegmentHeader,
+    /// Record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Length in bytes of the valid prefix (header + intact records).
+    pub valid_len: u64,
+    /// True when bytes after `valid_len` were a torn tail that must be
+    /// truncated away.
+    pub torn_tail: bool,
+}
+
+/// Scans a segment file's bytes, separating torn tails (recoverable)
+/// from mid-segment corruption (a typed error).
+///
+/// `file` is used only for error reporting.
+///
+/// # Errors
+///
+/// [`StoreError::Corrupt`] when the header is malformed on a non-empty,
+/// non-torn file, or when a record fails its checksum with more bytes
+/// following it.
+pub fn scan(file: &str, bytes: &[u8]) -> Result<ScanOutcome, StoreError> {
+    let corrupt = |offset: u64, reason: String| StoreError::Corrupt {
+        file: file.to_string(),
+        offset,
+        reason,
+    };
+    if bytes.len() < HEADER_LEN {
+        // An incomplete header can only be a torn creation; the caller
+        // discards the file. Header fields are placeholders.
+        return Ok(ScanOutcome {
+            header: SegmentHeader {
+                index: 0,
+                first_seq: 0,
+            },
+            records: Vec::new(),
+            valid_len: 0,
+            torn_tail: !bytes.is_empty(),
+        });
+    }
+    if bytes[..4] != SEGMENT_MAGIC {
+        return Err(corrupt(0, "bad segment magic".into()));
+    }
+    let version = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SEGMENT_VERSION {
+        return Err(corrupt(4, format!("unsupported segment version {version}")));
+    }
+    let header = SegmentHeader {
+        index: u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes")),
+        first_seq: u64::from_be_bytes(bytes[16..24].try_into().expect("8 bytes")),
+    };
+
+    let mut records = Vec::new();
+    let mut offset = HEADER_LEN;
+    let mut valid_len = HEADER_LEN as u64;
+    let mut torn_tail = false;
+    while offset < bytes.len() {
+        // Incomplete frame or payload: can only be the torn tail.
+        if bytes.len() - offset < FRAME_LEN {
+            torn_tail = true;
+            break;
+        }
+        let len =
+            u32::from_be_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_be_bytes(bytes[offset + 4..offset + 8].try_into().expect("4 bytes"));
+        let payload_at = offset + FRAME_LEN;
+        if bytes.len() - payload_at < len {
+            torn_tail = true;
+            break;
+        }
+        let payload = &bytes[payload_at..payload_at + len];
+        let end = payload_at + len;
+        if crc32(payload) != crc {
+            if end == bytes.len() {
+                // Checksum failure on the final record: a torn write of
+                // the payload after the frame reached the medium.
+                torn_tail = true;
+                break;
+            }
+            return Err(corrupt(
+                offset as u64,
+                format!(
+                    "record {} fails its checksum with {} bytes following it",
+                    records.len(),
+                    bytes.len() - end
+                ),
+            ));
+        }
+        records.push(payload.to_vec());
+        offset = end;
+        valid_len = end as u64;
+    }
+    Ok(ScanOutcome {
+        header,
+        records,
+        valid_len,
+        torn_tail,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment_with(records: &[&[u8]]) -> Vec<u8> {
+        let mut bytes = SegmentHeader {
+            index: 3,
+            first_seq: 12,
+        }
+        .to_bytes()
+        .to_vec();
+        for r in records {
+            frame_record(r, &mut bytes);
+        }
+        bytes
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn clean_segment_scans_fully() {
+        let bytes = segment_with(&[b"alpha", b"", b"gamma"]);
+        let out = scan("seg", &bytes).unwrap();
+        assert_eq!(out.header.index, 3);
+        assert_eq!(out.header.first_seq, 12);
+        assert_eq!(
+            out.records,
+            vec![b"alpha".to_vec(), Vec::new(), b"gamma".to_vec()]
+        );
+        assert_eq!(out.valid_len, bytes.len() as u64);
+        assert!(!out.torn_tail);
+    }
+
+    #[test]
+    fn empty_file_is_a_torn_creation() {
+        let out = scan("seg", &[]).unwrap();
+        assert!(out.records.is_empty());
+        assert_eq!(out.valid_len, 0);
+        assert!(!out.torn_tail, "nothing to truncate in an empty file");
+        // A partial header is torn.
+        let out = scan("seg", &SEGMENT_MAGIC).unwrap();
+        assert_eq!(out.valid_len, 0);
+        assert!(out.torn_tail);
+    }
+
+    #[test]
+    fn truncated_mid_record_tail_recovers_by_truncation() {
+        let full = segment_with(&[b"alpha", b"beta"]);
+        let intact = segment_with(&[b"alpha"]);
+        // Cut anywhere inside the second record: frame, or payload.
+        for cut in intact.len() + 1..full.len() {
+            let out = scan("seg", &full[..cut]).unwrap();
+            assert!(out.torn_tail, "cut at {cut}");
+            assert_eq!(out.records, vec![b"alpha".to_vec()], "cut at {cut}");
+            assert_eq!(out.valid_len, intact.len() as u64, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn checksum_corruption_in_the_middle_is_a_typed_error() {
+        let mut bytes = segment_with(&[b"alpha", b"beta"]);
+        // Flip one payload byte of the *first* record.
+        bytes[HEADER_LEN + FRAME_LEN] ^= 0x01;
+        let err = scan("seg-x", &bytes).unwrap_err();
+        match err {
+            StoreError::Corrupt { file, offset, .. } => {
+                assert_eq!(file, "seg-x");
+                assert_eq!(offset, HEADER_LEN as u64);
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn checksum_corruption_on_final_record_is_a_torn_tail() {
+        let mut bytes = segment_with(&[b"alpha", b"beta"]);
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let out = scan("seg", &bytes).unwrap();
+        assert!(out.torn_tail);
+        assert_eq!(out.records, vec![b"alpha".to_vec()]);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_corrupt() {
+        let mut bytes = segment_with(&[b"alpha"]);
+        bytes[0] = b'X';
+        assert!(matches!(
+            scan("seg", &bytes),
+            Err(StoreError::Corrupt { offset: 0, .. })
+        ));
+        let mut bytes = segment_with(&[b"alpha"]);
+        bytes[7] = 9; // version 9
+        assert!(matches!(
+            scan("seg", &bytes),
+            Err(StoreError::Corrupt { offset: 4, .. })
+        ));
+    }
+}

@@ -1,0 +1,694 @@
+//! The write-ahead log and snapshot store.
+//!
+//! [`Wal`] manages a directory of segment files (format in
+//! [`crate::segment`]): appends go to the tail segment, which rotates
+//! every [`WalConfig::segment_records`] records; recovery on open repairs
+//! torn tails by truncation and rejects mid-log corruption with a typed
+//! error; [`Wal::prune_through`] deletes sealed segments made redundant
+//! by a snapshot. [`SnapshotStore`] holds one atomically-replaced,
+//! checksummed snapshot — a consumer's compacted state plus the log
+//! sequence number it covers.
+//!
+//! # Recovery state machine (on [`Wal::open`])
+//!
+//! ```text
+//!          ┌────────────┐ per segment file, in index order
+//!          │ scan bytes │
+//!          └─────┬──────┘
+//!    ┌───────────┼──────────────────────┐
+//!    ▼           ▼                      ▼
+//!  clean    torn damage            mid-segment damage
+//!    │           │                      │
+//!    │     last file? ──no──────────────┤
+//!    │           │ yes                  ▼
+//!    │           ▼                Err(Corrupt)   (refuse to open)
+//!    │     truncate to the
+//!    │     valid prefix
+//!    ▼           ▼
+//!   accept records; check index/sequence continuity; tail reopens
+//! ```
+//!
+//! # Example
+//!
+//! ```
+//! use drams_store::backend::{Durability, MemBackend};
+//! use drams_store::wal::{Wal, WalConfig};
+//!
+//! # fn main() -> Result<(), drams_store::StoreError> {
+//! let config = WalConfig { segment_records: 2, durability: Durability::Flushed };
+//! let mut wal = Wal::open(Box::new(MemBackend::new()), config)?;
+//! for payload in [b"a".as_slice(), b"b", b"c"] {
+//!     wal.append(payload)?;
+//! }
+//! let replayed = wal.replay()?;
+//! assert_eq!(replayed.len(), 3);
+//! assert_eq!(replayed[2], (2, b"c".to_vec()));
+//! assert_eq!(wal.segment_count(), 2); // rotated after two records
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::backend::{Backend, Durability};
+use crate::error::StoreError;
+use crate::segment::{frame_record, scan, SegmentHeader, HEADER_LEN};
+
+/// Prefix of segment file names (`seg-00000000.wal`, …).
+pub const SEGMENT_PREFIX: &str = "seg-";
+/// Suffix of segment file names.
+pub const SEGMENT_SUFFIX: &str = ".wal";
+/// Name of the snapshot file a [`Wal`] (or [`SnapshotStore`]) manages.
+pub const SNAPSHOT_FILE: &str = "snapshot.snap";
+
+/// Magic bytes opening a snapshot file.
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"DRSN";
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// Tuning knobs of a [`Wal`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalConfig {
+    /// Records per segment before the tail rotates.
+    pub segment_records: usize,
+    /// Whether appends are synced record-by-record
+    /// ([`Durability::Flushed`]) or only on explicit [`Wal::sync`]
+    /// ([`Durability::Buffered`]).
+    pub durability: Durability,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_records: 1024,
+            durability: Durability::Flushed,
+        }
+    }
+}
+
+/// In-memory index entry for one live segment file.
+#[derive(Debug, Clone, Copy)]
+struct SegInfo {
+    index: u64,
+    first_seq: u64,
+    records: u64,
+}
+
+impl SegInfo {
+    fn file_name(&self) -> String {
+        segment_file_name(self.index)
+    }
+    fn end_seq(&self) -> u64 {
+        self.first_seq + self.records
+    }
+}
+
+/// The file name of segment `index`.
+#[must_use]
+pub fn segment_file_name(index: u64) -> String {
+    format!("{SEGMENT_PREFIX}{index:08}{SEGMENT_SUFFIX}")
+}
+
+/// A segmented, checksummed write-ahead log over a [`Backend`].
+#[derive(Debug)]
+pub struct Wal {
+    backend: Box<dyn Backend>,
+    config: WalConfig,
+    segments: Vec<SegInfo>,
+    next_seq: u64,
+}
+
+impl Wal {
+    /// Opens (and recovers) a log from `backend`.
+    ///
+    /// Torn tails — an incomplete record, an incomplete header, or a
+    /// checksum failure on the final record of the final segment — are
+    /// repaired by truncating to the last intact record. Damage anywhere
+    /// else refuses to open.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] on mid-log corruption or broken segment
+    /// continuity; [`StoreError::Io`] on backend failure.
+    pub fn open(backend: Box<dyn Backend>, config: WalConfig) -> Result<Self, StoreError> {
+        assert!(config.segment_records > 0, "segment capacity must be >= 1");
+        let mut wal = Wal {
+            backend,
+            config,
+            segments: Vec::new(),
+            next_seq: 0,
+        };
+        wal.recover()?;
+        Ok(wal)
+    }
+
+    fn recover(&mut self) -> Result<(), StoreError> {
+        let names: Vec<String> = self
+            .backend
+            .list()
+            .into_iter()
+            .filter(|n| n.starts_with(SEGMENT_PREFIX) && n.ends_with(SEGMENT_SUFFIX))
+            .collect();
+        let mut segments: Vec<SegInfo> = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let bytes = self.backend.read(name)?;
+            let last = i + 1 == names.len();
+            let outcome = scan(name, &bytes)?;
+            if outcome.torn_tail || (outcome.valid_len as usize) < bytes.len() {
+                if !last {
+                    return Err(StoreError::Corrupt {
+                        file: name.clone(),
+                        offset: outcome.valid_len,
+                        reason: "torn tail in a non-final segment".into(),
+                    });
+                }
+                self.backend.truncate(name, outcome.valid_len)?;
+            }
+            if (outcome.valid_len as usize) < HEADER_LEN {
+                // Header never made it to the medium: the segment was
+                // created by a torn rotation. Only acceptable at the
+                // very end of the log; drop the file entirely.
+                if !last {
+                    return Err(StoreError::Corrupt {
+                        file: name.clone(),
+                        offset: 0,
+                        reason: "headerless segment before the end of the log".into(),
+                    });
+                }
+                self.backend.remove(name)?;
+                continue;
+            }
+            let info = SegInfo {
+                index: outcome.header.index,
+                first_seq: outcome.header.first_seq,
+                records: outcome.records.len() as u64,
+            };
+            if let Some(prev) = segments.last() {
+                if info.index <= prev.index || info.first_seq != prev.end_seq() {
+                    return Err(StoreError::Corrupt {
+                        file: name.clone(),
+                        offset: 0,
+                        reason: format!(
+                            "segment continuity broken: index {} first_seq {} after \
+                             index {} ending at seq {}",
+                            info.index,
+                            info.first_seq,
+                            prev.index,
+                            prev.end_seq()
+                        ),
+                    });
+                }
+            }
+            segments.push(info);
+        }
+        self.next_seq = segments.last().map_or(0, SegInfo::end_seq);
+        self.segments = segments;
+        Ok(())
+    }
+
+    /// The sequence number the next append will get.
+    #[must_use]
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The first sequence number still retained (later when pruned).
+    #[must_use]
+    pub fn first_retained_seq(&self) -> u64 {
+        self.segments.first().map_or(self.next_seq, |s| s.first_seq)
+    }
+
+    /// Number of live segment files.
+    #[must_use]
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// True when no records are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.first_retained_seq() == self.next_seq
+    }
+
+    /// Appends one record, rotating the tail segment when full. Returns
+    /// the record's sequence number. Under [`Durability::Flushed`] the
+    /// record is durable when this returns.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn append(&mut self, payload: &[u8]) -> Result<u64, StoreError> {
+        let rotate = match self.segments.last() {
+            None => true,
+            Some(tail) => tail.records >= self.config.segment_records as u64,
+        };
+        if rotate {
+            let index = self.segments.last().map_or(0, |s| s.index + 1);
+            let info = SegInfo {
+                index,
+                first_seq: self.next_seq,
+                records: 0,
+            };
+            let header = SegmentHeader {
+                index,
+                first_seq: self.next_seq,
+            };
+            self.backend.append(&info.file_name(), &header.to_bytes())?;
+            self.segments.push(info);
+        }
+        let tail = self.segments.last_mut().expect("tail ensured above");
+        let mut frame = Vec::with_capacity(payload.len() + 8);
+        frame_record(payload, &mut frame);
+        let name = tail.file_name();
+        self.backend.append(&name, &frame)?;
+        tail.records += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.config.durability == Durability::Flushed {
+            self.backend.sync(&name)?;
+        }
+        Ok(seq)
+    }
+
+    /// Forces buffered appends to durable storage (a no-op under
+    /// [`Durability::Flushed`], where every append already synced).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if let Some(tail) = self.segments.last() {
+            self.backend.sync(&tail.file_name())?;
+        }
+        Ok(())
+    }
+
+    /// Replays every retained record as `(seq, payload)` in order.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] if a segment was damaged since open.
+    pub fn replay(&self) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        self.replay_from(0)
+    }
+
+    /// Replays retained records with `seq >= from_seq`.
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::replay`].
+    pub fn replay_from(&self, from_seq: u64) -> Result<Vec<(u64, Vec<u8>)>, StoreError> {
+        let mut out = Vec::new();
+        for info in &self.segments {
+            if info.end_seq() <= from_seq {
+                continue;
+            }
+            let name = info.file_name();
+            let bytes = self.backend.read(&name)?;
+            let outcome = scan(&name, &bytes)?;
+            for (i, payload) in outcome.records.into_iter().enumerate() {
+                let seq = info.first_seq + i as u64;
+                if seq >= from_seq {
+                    out.push((seq, payload));
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Deletes sealed (non-tail) segments whose every record has
+    /// `seq < upto_seq` — compaction after a snapshot covering those
+    /// records. Returns how many segment files were removed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn prune_through(&mut self, upto_seq: u64) -> Result<usize, StoreError> {
+        let mut removed = 0;
+        while self.segments.len() > 1 {
+            let first = self.segments[0];
+            if first.end_seq() > upto_seq {
+                break;
+            }
+            self.backend.remove(&first.file_name())?;
+            self.segments.remove(0);
+            removed += 1;
+        }
+        Ok(removed)
+    }
+
+    /// Writes this log's snapshot file atomically: `payload` plus the
+    /// sequence number it covers (records with `seq < upto_seq` are
+    /// folded into the snapshot). Typically followed by
+    /// [`Wal::prune_through`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn write_snapshot(&mut self, upto_seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+        write_snapshot_file(self.backend.as_mut(), upto_seq, payload)
+    }
+
+    /// Reads this log's snapshot, if one was written.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the snapshot fails its checksum.
+    pub fn read_snapshot(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        read_snapshot_file(self.backend.as_ref())
+    }
+
+    /// Models a crash of the owning process: the backend drops whatever
+    /// a power cut would lose, then the log re-runs open-time recovery
+    /// (truncating any torn tail this produced).
+    ///
+    /// # Errors
+    ///
+    /// As [`Wal::open`].
+    pub fn simulate_crash(&mut self) -> Result<(), StoreError> {
+        self.backend.simulate_crash();
+        self.recover()
+    }
+}
+
+fn write_snapshot_file(
+    backend: &mut dyn Backend,
+    upto_seq: u64,
+    payload: &[u8],
+) -> Result<(), StoreError> {
+    let mut bytes = Vec::with_capacity(24 + payload.len());
+    bytes.extend_from_slice(&SNAPSHOT_MAGIC);
+    bytes.extend_from_slice(&SNAPSHOT_VERSION.to_be_bytes());
+    bytes.extend_from_slice(&upto_seq.to_be_bytes());
+    bytes.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    bytes.extend_from_slice(&crate::segment::crc32(payload).to_be_bytes());
+    bytes.extend_from_slice(payload);
+    backend.write_atomic(SNAPSHOT_FILE, &bytes)
+}
+
+fn read_snapshot_file(backend: &dyn Backend) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+    let bytes = match backend.read(SNAPSHOT_FILE) {
+        Ok(b) => b,
+        Err(StoreError::NotFound(_)) => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let corrupt = |offset: u64, reason: &str| StoreError::Corrupt {
+        file: SNAPSHOT_FILE.to_string(),
+        offset,
+        reason: reason.to_string(),
+    };
+    if bytes.len() < 24 {
+        return Err(corrupt(0, "snapshot shorter than its header"));
+    }
+    if bytes[..4] != SNAPSHOT_MAGIC {
+        return Err(corrupt(0, "bad snapshot magic"));
+    }
+    let version = u32::from_be_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != SNAPSHOT_VERSION {
+        return Err(corrupt(4, "unsupported snapshot version"));
+    }
+    let seq = u64::from_be_bytes(bytes[8..16].try_into().expect("8 bytes"));
+    let len = u32::from_be_bytes(bytes[16..20].try_into().expect("4 bytes")) as usize;
+    let crc = u32::from_be_bytes(bytes[20..24].try_into().expect("4 bytes"));
+    if bytes.len() != 24 + len {
+        return Err(corrupt(16, "snapshot length mismatch"));
+    }
+    let payload = &bytes[24..];
+    if crate::segment::crc32(payload) != crc {
+        return Err(corrupt(20, "snapshot checksum mismatch"));
+    }
+    Ok(Some((seq, payload.to_vec())))
+}
+
+/// A standalone checkpoint store: one atomically-replaced, checksummed
+/// snapshot on its own [`Backend`] — for consumers (like the Analyser)
+/// whose durable state is a compact checkpoint rather than a log.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    backend: Box<dyn Backend>,
+}
+
+impl SnapshotStore {
+    /// Creates a snapshot store over `backend`.
+    #[must_use]
+    pub fn new(backend: Box<dyn Backend>) -> Self {
+        SnapshotStore { backend }
+    }
+
+    /// Atomically replaces the snapshot with `payload`, tagged with the
+    /// consumer-defined sequence number `seq`.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] on backend failure.
+    pub fn save(&mut self, seq: u64, payload: &[u8]) -> Result<(), StoreError> {
+        write_snapshot_file(self.backend.as_mut(), seq, payload)
+    }
+
+    /// Loads the snapshot, if any.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Corrupt`] when the snapshot fails its checksum.
+    pub fn load(&self) -> Result<Option<(u64, Vec<u8>)>, StoreError> {
+        read_snapshot_file(self.backend.as_ref())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::MemBackend;
+
+    fn mem_wal(segment_records: usize, durability: Durability) -> Wal {
+        Wal::open(
+            Box::new(MemBackend::new()),
+            WalConfig {
+                segment_records,
+                durability,
+            },
+        )
+        .unwrap()
+    }
+
+    fn payload(i: u64) -> Vec<u8> {
+        format!("record-{i}").into_bytes()
+    }
+
+    #[test]
+    fn appends_assign_sequential_seqs_and_rotate() {
+        let mut wal = mem_wal(3, Durability::Flushed);
+        for i in 0..7 {
+            assert_eq!(wal.append(&payload(i)).unwrap(), i);
+        }
+        assert_eq!(wal.segment_count(), 3);
+        assert_eq!(wal.next_seq(), 7);
+        let replayed = wal.replay().unwrap();
+        assert_eq!(replayed.len(), 7);
+        for (i, (seq, bytes)) in replayed.iter().enumerate() {
+            assert_eq!(*seq, i as u64);
+            assert_eq!(*bytes, payload(i as u64));
+        }
+        assert_eq!(wal.replay_from(5).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn open_on_empty_backend_is_a_fresh_log() {
+        let wal = mem_wal(4, Durability::Flushed);
+        assert!(wal.is_empty());
+        assert_eq!(wal.next_seq(), 0);
+        assert_eq!(wal.segment_count(), 0);
+        assert!(wal.replay().unwrap().is_empty());
+        assert!(wal.read_snapshot().unwrap().is_none());
+    }
+
+    #[test]
+    fn flushed_wal_survives_a_crash_intact() {
+        let mut wal = mem_wal(4, Durability::Flushed);
+        for i in 0..6 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.simulate_crash().unwrap();
+        assert_eq!(wal.next_seq(), 6);
+        assert_eq!(wal.replay().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn buffered_wal_loses_the_unsynced_tail_on_crash() {
+        let mut wal = mem_wal(100, Durability::Buffered);
+        for i in 0..4 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.sync().unwrap();
+        for i in 4..9 {
+            wal.append(&payload(i)).unwrap();
+        }
+        wal.simulate_crash().unwrap();
+        assert_eq!(wal.next_seq(), 4, "unsynced records are gone");
+        assert_eq!(wal.replay().unwrap().len(), 4);
+        // The log keeps working after the truncation.
+        assert_eq!(wal.append(&payload(100)).unwrap(), 4);
+    }
+
+    #[test]
+    fn torn_tail_on_reopen_truncates_and_resumes() {
+        // Write a segment's bytes directly, tearing the last 3 bytes off
+        // the third record, as a crash mid-append would.
+        let mut raw = MemBackend::new();
+        let name = segment_file_name(0);
+        let mut bytes = SegmentHeader {
+            index: 0,
+            first_seq: 0,
+        }
+        .to_bytes()
+        .to_vec();
+        for i in 0..3 {
+            frame_record(&payload(i), &mut bytes);
+        }
+        raw.append(&name, &bytes[..bytes.len() - 3]).unwrap();
+        raw.sync(&name).unwrap();
+        let mut wal = Wal::open(Box::new(raw), WalConfig::default()).unwrap();
+        assert_eq!(wal.next_seq(), 2, "torn third record truncated away");
+        assert_eq!(wal.replay().unwrap().len(), 2);
+        // The log resumes appending where the intact prefix ended.
+        assert_eq!(wal.append(&payload(2)).unwrap(), 2);
+        assert_eq!(wal.replay().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn mid_log_corruption_refuses_to_open() {
+        let mut raw = MemBackend::new();
+        let name = segment_file_name(0);
+        let mut bytes = SegmentHeader {
+            index: 0,
+            first_seq: 0,
+        }
+        .to_bytes()
+        .to_vec();
+        for i in 0..3 {
+            frame_record(&payload(i), &mut bytes);
+        }
+        bytes[HEADER_LEN + 9] ^= 0x40; // corrupt record 0's payload
+        raw.append(&name, &bytes).unwrap();
+        raw.sync(&name).unwrap();
+        let err = Wal::open(Box::new(raw), WalConfig::default()).unwrap_err();
+        assert!(matches!(err, StoreError::Corrupt { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn snapshot_at_segment_boundary_prunes_and_survives_crash_reopen() {
+        let mut wal = mem_wal(4, Durability::Flushed);
+        for i in 0..8 {
+            wal.append(&payload(i)).unwrap();
+        }
+        assert_eq!(wal.segment_count(), 2);
+        // Snapshot exactly at the segment boundary (seq 4 starts seg 1).
+        wal.write_snapshot(4, b"state@4").unwrap();
+        assert_eq!(wal.prune_through(4).unwrap(), 1);
+        assert_eq!(wal.segment_count(), 1);
+        assert_eq!(wal.first_retained_seq(), 4);
+        // Crash + recover: the reopened log starts mid-sequence.
+        wal.simulate_crash().unwrap();
+        let (snap_seq, snap) = wal.read_snapshot().unwrap().unwrap();
+        assert_eq!(snap_seq, 4);
+        assert_eq!(snap, b"state@4");
+        let replayed = wal.replay_from(snap_seq).unwrap();
+        assert_eq!(replayed.first().unwrap().0, 4);
+        assert_eq!(replayed.len(), 4);
+        // Appends continue with globally consistent sequence numbers.
+        assert_eq!(wal.append(&payload(8)).unwrap(), 8);
+    }
+
+    #[test]
+    fn prune_never_removes_the_tail_segment() {
+        let mut wal = mem_wal(2, Durability::Flushed);
+        for i in 0..6 {
+            wal.append(&payload(i)).unwrap();
+        }
+        assert_eq!(wal.segment_count(), 3);
+        // Everything is consumed, but the tail must survive to preserve
+        // sequence continuity.
+        assert_eq!(wal.prune_through(6).unwrap(), 2);
+        assert_eq!(wal.segment_count(), 1);
+        assert_eq!(wal.next_seq(), 6);
+        assert_eq!(wal.append(&payload(6)).unwrap(), 6);
+    }
+
+    #[test]
+    fn snapshot_store_round_trips_and_detects_corruption() {
+        let mut store = SnapshotStore::new(Box::new(MemBackend::new()));
+        assert!(store.load().unwrap().is_none());
+        store.save(17, b"checkpoint").unwrap();
+        assert_eq!(store.load().unwrap().unwrap(), (17, b"checkpoint".to_vec()));
+        store.save(18, b"newer").unwrap();
+        assert_eq!(store.load().unwrap().unwrap(), (18, b"newer".to_vec()));
+
+        // Corrupting the payload surfaces as a typed error.
+        let mut raw = MemBackend::new();
+        write_snapshot_file(&mut raw, 3, b"payload").unwrap();
+        let mut bytes = raw.read(SNAPSHOT_FILE).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        raw.write_atomic(SNAPSHOT_FILE, &bytes).unwrap();
+        let store = SnapshotStore::new(Box::new(raw));
+        assert!(matches!(store.load(), Err(StoreError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn fs_backend_wal_round_trips_with_torn_tail() {
+        use crate::backend::FsBackend;
+        let dir = std::env::temp_dir().join(format!("drams-wal-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let backend = FsBackend::open(&dir).unwrap();
+            let mut wal = Wal::open(
+                Box::new(backend),
+                WalConfig {
+                    segment_records: 3,
+                    durability: Durability::Flushed,
+                },
+            )
+            .unwrap();
+            for i in 0..5 {
+                wal.append(&payload(i)).unwrap();
+            }
+            wal.write_snapshot(3, b"fs-state").unwrap();
+            wal.prune_through(3).unwrap();
+        }
+        // Tear the tail file on disk: drop the final 2 bytes.
+        {
+            let name = segment_file_name(1);
+            let path = dir.join(&name);
+            let len = std::fs::metadata(&path).unwrap().len();
+            let file = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+            file.set_len(len - 2).unwrap();
+        }
+        {
+            let backend = FsBackend::open(&dir).unwrap();
+            let wal = Wal::open(
+                Box::new(backend),
+                WalConfig {
+                    segment_records: 3,
+                    durability: Durability::Flushed,
+                },
+            )
+            .unwrap();
+            assert_eq!(wal.next_seq(), 4, "torn record 4 truncated");
+            assert_eq!(wal.first_retained_seq(), 3, "pruned prefix stays gone");
+            assert_eq!(wal.read_snapshot().unwrap().unwrap().0, 3);
+            let replayed = wal.replay_from(3).unwrap();
+            assert_eq!(replayed, vec![(3, payload(3))]);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment capacity must be >= 1")]
+    fn zero_segment_capacity_panics() {
+        let _ = Wal::open(
+            Box::new(MemBackend::new()),
+            WalConfig {
+                segment_records: 0,
+                durability: Durability::Flushed,
+            },
+        );
+    }
+}
