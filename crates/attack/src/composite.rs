@@ -90,6 +90,10 @@ impl Adversary for CompositeAdversary {
     fn tamper_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
         self.parts.iter_mut().any(|p| p.tamper_log(entry, now))
     }
+
+    fn replay_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
+        self.parts.iter_mut().any(|p| p.replay_log(entry, now))
+    }
 }
 
 #[cfg(test)]

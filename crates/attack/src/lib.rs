@@ -7,7 +7,8 @@
 //! [`Adversary`](drams_core::adversary::Adversary) implementations, and
 //! scores detection against exact ground truth.
 //!
-//! * [`threat`] — the seven-threat catalogue and [`ScriptedAdversary`].
+//! * [`threat`] — the nine-threat catalogue and [`ScriptedAdversary`],
+//!   including the colluding PDP+LI and cross-tenant log-replay families.
 //! * [`score`](mod@score) — detection rate / false positives / latency scoring.
 //! * [`window`] — fault windows: any adversary becomes a schedulable
 //!   scenario component active only inside declared virtual-time windows.
@@ -31,6 +32,9 @@ pub mod threat;
 pub mod window;
 
 pub use composite::CompositeAdversary;
-pub use score::{detected_by_any_alert, expected_alert_kinds, score, DetectionScore};
+pub use score::{
+    chain_attack_score, detected_by_any_alert, expected_alert_kinds, score, ChainAttackScore,
+    DetectionScore,
+};
 pub use threat::{ScriptedAdversary, ThreatKind};
 pub use window::{FaultWindow, WindowedAdversary};

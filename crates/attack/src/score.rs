@@ -3,7 +3,7 @@
 //! experiment E4.
 
 use crate::threat::ThreatKind;
-use drams_core::alert::AlertKind;
+use drams_core::alert::{Alert, AlertKind};
 use drams_core::monitor::{GroundTruth, MonitorReport};
 use drams_faas::msg::CorrelationId;
 use std::collections::HashSet;
@@ -52,6 +52,14 @@ pub fn expected_alert_kinds(threat: ThreatKind) -> &'static [fn(&AlertKind) -> b
         // digest-mismatch it caused; both mean "monitoring plane attacked".
         ThreatKind::TamperLog => &[is_monitor_compromise],
         ThreatKind::SwapPolicy => &[is_policy_swap],
+        // The suppressed PDP-side evidence keeps the group from
+        // completing, so the only remaining signature is the timeout; a
+        // late-arriving PolicyViolation (if the group did complete) also
+        // counts.
+        ThreatKind::ColludePdpLi => &[is_missing, is_policy_violation],
+        // Spliced stale evidence breaks the probe MAC and mismatches the
+        // pairwise digests.
+        ThreatKind::ReplayLog => &[is_monitor_compromise],
     }
 }
 
@@ -126,6 +134,10 @@ fn attacked_correlations(threat: ThreatKind, truth: &GroundTruth) -> Vec<Correla
         ThreatKind::DropLog => truth.dropped_logs.iter().map(|(c, _)| *c).collect(),
         ThreatKind::TamperLog => truth.tampered_logs.iter().map(|(c, _)| *c).collect(),
         ThreatKind::SwapPolicy => Vec::new(), // policy-level, scored globally
+        // The collusion is one attack per corrupted decision; the
+        // coordinated log suppression is part of the same action.
+        ThreatKind::ColludePdpLi => truth.corrupted_decisions.clone(),
+        ThreatKind::ReplayLog => truth.replayed_logs.iter().map(|(c, _)| *c).collect(),
     }
 }
 
@@ -193,10 +205,77 @@ pub fn score(threat: ThreatKind, report: &MonitorReport, truth: &GroundTruth) ->
     }
 }
 
+/// Per-family outcome of the chain-level attack oracle: the Byzantine
+/// behaviours that are injected by scenario script rather than by an
+/// [`Adversary`](drams_core::adversary::Adversary) hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChainAttackScore {
+    /// Fork and equivocation imports the ground truth records.
+    pub forks_injected: u64,
+    /// `MonitorCompromise` alerts carrying a "chain fork" detail.
+    pub forks_alerted: u64,
+    /// Invalid-signature blocks imported.
+    pub invalid_sig_injected: u64,
+    /// `MonitorCompromise` alerts naming an invalid transaction signature.
+    pub invalid_sig_alerted: u64,
+    /// Withheld log entries ((correlation, point) pairs).
+    pub withheld_injected: usize,
+    /// Withheld entries covered by a matching `MissingLog` alert.
+    pub withheld_alerted: usize,
+}
+
+impl ChainAttackScore {
+    /// True when every injected chain-level attack produced its expected
+    /// alert: at least one fork alert per run with fork activity, at
+    /// least one invalid-signature audit alert per bad block, and a
+    /// `MissingLog` for **each** withheld entry.
+    #[must_use]
+    pub fn all_detected(&self) -> bool {
+        (self.forks_injected == 0 || self.forks_alerted >= 1)
+            && self.invalid_sig_alerted >= self.invalid_sig_injected
+            && self.withheld_alerted == self.withheld_injected
+    }
+}
+
+/// Joins a scenario run's alerts with the chain-level ground truth.
+#[must_use]
+pub fn chain_attack_score(alerts: &[Alert], truth: &GroundTruth) -> ChainAttackScore {
+    let forks_alerted = alerts
+        .iter()
+        .filter(|a| {
+            matches!(a.kind, AlertKind::MonitorCompromise) && a.detail.starts_with("chain fork")
+        })
+        .count() as u64;
+    let invalid_sig_alerted = alerts
+        .iter()
+        .filter(|a| {
+            matches!(a.kind, AlertKind::MonitorCompromise)
+                && a.detail.contains("invalid transaction signature")
+        })
+        .count() as u64;
+    let withheld_alerted = truth
+        .withheld_logs
+        .iter()
+        .filter(|(corr, point)| {
+            alerts.iter().any(|a| {
+                a.correlation == *corr
+                    && matches!(&a.kind, AlertKind::MissingLog { point: p } if p == point)
+            })
+        })
+        .count();
+    ChainAttackScore {
+        forks_injected: truth.chain_forks + truth.equivocations,
+        forks_alerted,
+        invalid_sig_injected: truth.invalid_sig_blocks,
+        invalid_sig_alerted,
+        withheld_injected: truth.withheld_logs.len(),
+        withheld_alerted,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use drams_core::alert::Alert;
 
     fn report_with(alerts: Vec<Alert>) -> MonitorReport {
         MonitorReport {

@@ -6,7 +6,7 @@
 //! resilience against: dropped logs, tampered logs, compromised LIs.
 
 use drams_core::adversary::Adversary;
-use drams_core::logent::LogEntry;
+use drams_core::logent::{LogEntry, ObservationPoint};
 use drams_crypto::sha256::Digest;
 use drams_faas::des::SimTime;
 use drams_faas::msg::{RequestEnvelope, ResponseEnvelope};
@@ -16,6 +16,7 @@ use drams_policy::policy::PolicySet;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 use std::fmt;
 
 /// The attacks in the evaluation matrix (experiment E4).
@@ -36,11 +37,21 @@ pub enum ThreatKind {
     TamperLog,
     /// Replace the policy the PDP evaluates (altered policy).
     SwapPolicy,
+    /// A colluding PDP **and** Logging Interface: the PDP emits a wrong
+    /// decision and the compromised LI suppresses the PDP-side log entry
+    /// that would reveal it. Detection must come from the group timeout,
+    /// not from comparing the (suppressed) evidence.
+    ColludePdpLi,
+    /// A compromised LI replays evidence (digest, sealed payload and
+    /// probe MAC) from an earlier entry — possibly another tenant's —
+    /// in place of the current observation. The probe MAC binds the
+    /// correlation and point, so the stale splice cannot verify.
+    ReplayLog,
 }
 
 impl ThreatKind {
-    /// All seven threats.
-    pub const ALL: [ThreatKind; 7] = [
+    /// All nine threats.
+    pub const ALL: [ThreatKind; 9] = [
         ThreatKind::TamperRequest,
         ThreatKind::TamperResponse,
         ThreatKind::CorruptDecision,
@@ -48,6 +59,8 @@ impl ThreatKind {
         ThreatKind::DropLog,
         ThreatKind::TamperLog,
         ThreatKind::SwapPolicy,
+        ThreatKind::ColludePdpLi,
+        ThreatKind::ReplayLog,
     ];
 
     /// Short name for tables.
@@ -61,6 +74,8 @@ impl ThreatKind {
             ThreatKind::DropLog => "drop-log",
             ThreatKind::TamperLog => "tamper-log",
             ThreatKind::SwapPolicy => "swap-policy",
+            ThreatKind::ColludePdpLi => "collude-pdp-li",
+            ThreatKind::ReplayLog => "replay-log",
         }
     }
 }
@@ -78,7 +93,18 @@ pub struct ScriptedAdversary {
     kind: ThreatKind,
     probability: f64,
     rng: StdRng,
+    /// Correlations whose decision this adversary corrupted — the
+    /// colluding LI suppresses the PDP-side entries for exactly these
+    /// ([`ThreatKind::ColludePdpLi`]).
+    colluding: BTreeSet<u64>,
+    /// Previously observed entries a replaying LI can splice evidence
+    /// from ([`ThreatKind::ReplayLog`]). Bounded; oldest are kept since
+    /// staleness is the point.
+    stash: Vec<LogEntry>,
 }
+
+/// How many donor entries a replaying LI keeps around.
+const REPLAY_STASH_CAP: usize = 64;
 
 impl ScriptedAdversary {
     /// Creates an adversary mounting `kind` with the given per-event
@@ -97,6 +123,8 @@ impl ScriptedAdversary {
             kind,
             probability,
             rng: StdRng::seed_from_u64(seed),
+            colluding: BTreeSet::new(),
+            stash: Vec::new(),
         }
     }
 
@@ -144,10 +172,16 @@ impl Adversary for ScriptedAdversary {
     }
 
     fn corrupt_pdp_decision(&mut self, envelope: &mut ResponseEnvelope, _now: SimTime) -> bool {
-        if self.kind != ThreatKind::CorruptDecision || !self.fires() {
+        let colluding = self.kind == ThreatKind::ColludePdpLi;
+        if (self.kind != ThreatKind::CorruptDecision && !colluding) || !self.fires() {
             return false;
         }
         flip_response(&mut envelope.response);
+        if colluding {
+            // Mark the correlation so the colluding LI knows which
+            // PDP-side entries to suppress.
+            self.colluding.insert(envelope.correlation.0);
+        }
         true
     }
 
@@ -159,8 +193,21 @@ impl Adversary for ScriptedAdversary {
         true
     }
 
-    fn drop_log(&mut self, _entry: &LogEntry, _now: SimTime) -> bool {
-        self.kind == ThreatKind::DropLog && self.fires()
+    fn drop_log(&mut self, entry: &LogEntry, _now: SimTime) -> bool {
+        match self.kind {
+            ThreatKind::DropLog => self.fires(),
+            // The colluding LI deterministically suppresses the PDP-side
+            // evidence of every corrupted decision. PEP-side entries are
+            // delivered by the (honest) member-tenant LI, so the group
+            // still opens and the timeout sweep can notice the gap.
+            ThreatKind::ColludePdpLi => {
+                matches!(
+                    entry.point,
+                    ObservationPoint::PdpRequest | ObservationPoint::PdpResponse
+                ) && self.colluding.contains(&entry.correlation.0)
+            }
+            _ => false,
+        }
     }
 
     fn tamper_log(&mut self, entry: &mut LogEntry, _now: SimTime) -> bool {
@@ -171,6 +218,33 @@ impl Adversary for ScriptedAdversary {
         // the probe MAC because the key sits in the tenant TPM.
         entry.digest = Digest::of_parts(&[b"li-rewrite", entry.digest.as_bytes()]);
         true
+    }
+
+    fn replay_log(&mut self, entry: &mut LogEntry, _now: SimTime) -> bool {
+        if self.kind != ThreatKind::ReplayLog {
+            return false;
+        }
+        if self.fires() {
+            // Splice the full evidence (digest, sealed payload, MAC) of a
+            // stale entry from a *different* correlation — a replaying LI
+            // passing off old observations as current. The donor MAC was
+            // computed over the donor's correlation and point, so it can
+            // never verify against this entry's.
+            if let Some(donor) = self
+                .stash
+                .iter()
+                .find(|e| e.correlation != entry.correlation)
+            {
+                entry.digest = donor.digest;
+                entry.sealed_payload = donor.sealed_payload.clone();
+                entry.probe_mac = donor.probe_mac;
+                return true;
+            }
+        }
+        if self.stash.len() < REPLAY_STASH_CAP {
+            self.stash.push(entry.clone());
+        }
+        false
     }
 
     fn swap_policy(&mut self, authorised: &PolicySet) -> Option<PolicySet> {

@@ -113,6 +113,10 @@ impl<A: Adversary> Adversary for WindowedAdversary<A> {
     fn tamper_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
         self.active_at(now) && self.inner.tamper_log(entry, now)
     }
+
+    fn replay_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
+        self.active_at(now) && self.inner.replay_log(entry, now)
+    }
 }
 
 #[cfg(test)]

@@ -1,7 +1,7 @@
 //! Regenerates every experiment table of the DRAMS reproduction
 //! (EXPERIMENTS.md / DESIGN.md §3).
 //!
-//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e11|all] [--quick] [--scenario <name>]`
+//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e12|all] [--quick] [--scenario <name>]`
 //!
 //! Run with `--release`: E1/E2 perform real proof-of-work hashing.
 //!
@@ -16,13 +16,18 @@
 //! <name>` restricts the matrix to one scenario without touching the
 //! trajectory file), and `e11` writes the storage-engine trajectory to
 //! `BENCH_STORE.json` (append/replay/snapshot cost per backend ×
-//! durability, plus one row per crash-restart recovery scenario).
+//! durability, plus one row per crash-restart recovery scenario), and
+//! `e12` writes the adversarial-fuzzing trajectory to `BENCH_FUZZ.json`
+//! (seed-generated scenarios checked against the three-part ground-truth
+//! oracle; oracle violations are shrunk to a minimal reproduction,
+//! printed as Rust, and fail the run).
 //! `--quick` shrinks the sweeps to CI-smoke size — the JSON records
 //! which mode produced it.
 
 use drams_attack::{score, ScriptedAdversary, ThreatKind};
 use drams_bench::crypto_trajectory::{self, CryptoSummary, OldNew};
 use drams_bench::e2e_trajectory::{self, ScenarioRow};
+use drams_bench::fuzz_trajectory::{self, FuzzSummary};
 use drams_bench::log_entry_of_size;
 use drams_bench::scenarios;
 use drams_bench::store_trajectory::{self, EngineRow, RecoveryRow};
@@ -96,6 +101,7 @@ fn main() {
     let e9_summary = want("e9").then(|| e9_crypto_substrate(quick));
     let e10_rows = want("e10").then(|| e10_scenario_matrix(quick, scenario_filter.as_deref()));
     let e11_results = want("e11").then(|| e11_storage_and_recovery(quick));
+    let e12_summary = want("e12").then(|| e12_adversarial_fuzz(quick));
 
     // The tracked perf trajectory: whenever E5 and/or E6 ran, rewrite
     // BENCH_PDP.json at the repo root so the diff shows what moved. A
@@ -182,6 +188,29 @@ fn main() {
             .collect();
         if !diverged.is_empty() {
             eprintln!("\ncrash-restart diverged from the uninterrupted run: {diverged:?}");
+            std::process::exit(1);
+        }
+    }
+    // The fuzzing trajectory: as with E11, the file is written *before*
+    // the oracle verdict is enforced, so a detection regression shows up
+    // in the committed diff as a non-zero violation count rather than
+    // vanishing in a panic — the non-zero exit still fails CI.
+    if let Some(summary) = e12_summary {
+        let path = fuzz_trajectory::repo_path();
+        let previous = std::fs::read_to_string(&path).ok();
+        let json = fuzz_trajectory::render_json(quick, Some(&summary), previous.as_deref());
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote fuzz trajectory to {}", path.display()),
+            Err(e) => {
+                eprintln!("\nfailed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        if summary.violations > 0 {
+            eprintln!(
+                "\nfuzz oracle violations: {} (shrunk reproductions above)",
+                summary.violations
+            );
             std::process::exit(1);
         }
     }
@@ -1070,4 +1099,95 @@ fn e8_ablations() {
     }
     println!("\nshape: batching cuts chain traffic ~linearly at equal commit");
     println!("latency; longer epochs delay timeout-based detection.");
+}
+
+/// E12 — adversarial scenario fuzzing: `--quick` runs 60 seed-generated
+/// scenarios (full mode 300) spanning honest churn, windowed attack
+/// campaigns over the full nine-threat catalogue, Byzantine chain-node
+/// behaviour and crash-restart points, each judged by the three-part
+/// ground-truth oracle (attacks detected, honest runs alert-free,
+/// crashed runs byte-identical to their uninterrupted twin). Oracle
+/// violations are shrunk to a minimal scenario and printed as
+/// compilable Rust. Emits `BENCH_FUZZ.json`.
+fn e12_adversarial_fuzz(quick: bool) -> FuzzSummary {
+    use drams_fuzz::{generate, render_rust, run_case, shrink, COVERAGE_PRELUDE};
+    use std::collections::BTreeMap;
+
+    header(
+        "E12",
+        "adversarial scenario fuzzing, oracle-checked end to end",
+    );
+    let budget: u64 = if quick { 60 } else { 300 };
+    assert!(
+        budget >= COVERAGE_PRELUDE,
+        "budget must include the prelude"
+    );
+    println!("budget: {budget} scenarios (seeds 0..{budget}; 0..{COVERAGE_PRELUDE} = directed coverage prelude)\n");
+    println!(
+        "{:>5} {:<34} {:>7} {:>8} {:>8} {:>4} {:>5} {:>4}",
+        "seed", "scenario", "events", "injectd", "detectd", "fp", "twin", "ok"
+    );
+
+    let mut summary = FuzzSummary::default();
+    let mut families: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for seed in 0..budget {
+        let case = generate(seed);
+        for family in case.families() {
+            *families.entry(family).or_insert(0) += 1;
+        }
+        let outcome = run_case(&case);
+        summary.scenarios += 1;
+        summary.events += outcome.events;
+        summary.attacks_injected += outcome.attacks_injected as u64;
+        summary.attacks_detected += outcome.attacks_detected as u64;
+        summary.false_positives += outcome.false_positives as u64;
+        summary.crash_twins_checked += u64::from(outcome.crash_twin_checked);
+        let ok = outcome.violations.is_empty();
+        println!(
+            "{:>5} {:<34} {:>7} {:>8} {:>8} {:>4} {:>5} {:>4}",
+            seed,
+            outcome.name,
+            outcome.events,
+            outcome.attacks_injected,
+            outcome.attacks_detected,
+            outcome.false_positives,
+            if outcome.crash_twin_checked {
+                "yes"
+            } else {
+                "-"
+            },
+            if ok { "ok" } else { "FAIL" }
+        );
+        if !ok {
+            summary.violations += outcome.violations.len() as u64;
+            for violation in &outcome.violations {
+                eprintln!("  violation: {violation}");
+            }
+            let minimal = shrink(&case, |c| !run_case(c).violations.is_empty());
+            summary.shrunk_failures += 1;
+            println!("\n--- minimal reproduction of seed {seed} ---");
+            println!("{}", render_rust(&minimal));
+        }
+    }
+
+    summary.families = families
+        .into_iter()
+        .map(|(name, count)| (name.to_string(), count))
+        .collect();
+    println!("\n-- attack-family coverage (scenarios per family) --");
+    for (family, count) in &summary.families {
+        println!("{family:>20}: {count}");
+    }
+    println!(
+        "\n{} scenarios, {} events, {}/{} attacks detected, {} false positives, \
+         {} crash twins checked, {} violations",
+        summary.scenarios,
+        summary.events,
+        summary.attacks_detected,
+        summary.attacks_injected,
+        summary.false_positives,
+        summary.crash_twins_checked,
+        summary.violations
+    );
+    summary
 }

@@ -129,6 +129,21 @@ impl Blockchain {
         self.blocks.len()
     }
 
+    /// Headers of **every** stored block — main chain and side chains —
+    /// in deterministic (height, hash) order. This is the auditor's view:
+    /// a fork sweep needs the stale siblings that
+    /// [`Blockchain::main_chain_hashes`] deliberately omits.
+    #[must_use]
+    pub fn all_headers(&self) -> Vec<crate::block::BlockHeader> {
+        let mut headers: Vec<crate::block::BlockHeader> = self
+            .blocks
+            .values()
+            .map(|s| s.block.header.clone())
+            .collect();
+        headers.sort_by_key(|h| (h.height, *h.hash().as_bytes()));
+        headers
+    }
+
     /// Always false — a chain has at least its genesis.
     #[must_use]
     pub fn is_empty(&self) -> bool {

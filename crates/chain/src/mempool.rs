@@ -121,6 +121,22 @@ impl Mempool {
         self.index.contains_key(id)
     }
 
+    /// Iterates the pending transactions in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = &Transaction> {
+        self.queue.iter()
+    }
+
+    /// Removes one pending transaction by id, returning it. The relative
+    /// order of the remaining transactions is unchanged.
+    pub fn remove(&mut self, id: &TxId) -> Option<Transaction> {
+        if !self.index.contains_key(id) {
+            return None;
+        }
+        self.index_remove(id);
+        let pos = self.queue.iter().position(|tx| tx.id() == *id)?;
+        self.queue.remove(pos)
+    }
+
     /// Pending transactions from `sender` (used for nonce assignment).
     #[must_use]
     pub fn pending_from(&self, sender: &PublicKey) -> usize {
@@ -188,6 +204,20 @@ mod tests {
         pool.requeue_front(orphaned);
         let taken = pool.take(3);
         assert_eq!(taken.iter().map(|t| t.nonce).collect::<Vec<_>>(), [0, 1, 2]);
+    }
+
+    #[test]
+    fn remove_extracts_one_tx_and_keeps_order() {
+        let mut pool = Mempool::new();
+        let ids: Vec<TxId> = (0..4).map(|n| pool.add(tx(n)).unwrap()).collect();
+        let removed = pool.remove(&ids[1]).unwrap();
+        assert_eq!(removed.nonce, 1);
+        assert!(!pool.contains(&ids[1]));
+        assert!(pool.remove(&ids[1]).is_none(), "double remove is a no-op");
+        let kp = Keypair::from_seed(b"mempool-tests");
+        assert_eq!(pool.pending_from(&kp.public()), 3);
+        let order: Vec<u64> = pool.take(10).iter().map(|t| t.nonce).collect();
+        assert_eq!(order, [0, 2, 3]);
     }
 
     #[test]

@@ -131,6 +131,20 @@ impl Node {
         self.mempool.len()
     }
 
+    /// Iterates the pending transactions in arrival order.
+    pub fn pending_transactions(&self) -> impl Iterator<Item = &Transaction> {
+        self.mempool.iter()
+    }
+
+    /// Byzantine-node fault injection: silently discards one pending
+    /// transaction (a withheld commit), returning it. The write-ahead
+    /// journal is deliberately **not** touched — a node replaying its
+    /// journal after a crash would resurrect the transaction, exactly as
+    /// a real silent drop behaves.
+    pub fn withhold_transaction(&mut self, id: &TxId) -> Option<Transaction> {
+        self.mempool.remove(id)
+    }
+
     /// The nonce `sender` should use for its next transaction, accounting
     /// for transactions still in the mempool.
     #[must_use]

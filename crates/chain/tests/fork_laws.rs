@@ -1,0 +1,125 @@
+//! Pinning and property tests of the fork-analysis math (E2's integrity
+//! numbers and the Analyser's reorg reasoning both lean on it).
+//!
+//! The closed forms are pinned against hand-derivable values (gambler's
+//! ruin: `(q/p)^deficit`) and against Nakamoto's published table, and
+//! the Monte Carlo race in `simulate_catch_up` is property-checked to
+//! converge to the closed form across the whole sub-majority parameter
+//! space — the cross-validation E2 relies on when it prints analytic and
+//! simulated columns side by side.
+
+use drams_chain::fork::{
+    catch_up_probability, integrity_sweep, nakamoto_success_probability, simulate_catch_up,
+};
+use proptest::prelude::*;
+
+/// Gambler's ruin gives exactly `(q/p)^deficit`; pin hand-computed
+/// points so a regression in either the ratio or the exponent shows up
+/// as an exact-value failure, not a tolerance drift.
+#[test]
+fn catch_up_closed_form_pinned_values() {
+    // q = 0.25 → q/p = 1/3; deficit 2 → 1/9.
+    assert!((catch_up_probability(0.25, 2) - 1.0 / 9.0).abs() < 1e-12);
+    // q = 0.2 → q/p = 1/4; deficit 1 → 1/4, deficit 3 → 1/64.
+    assert!((catch_up_probability(0.2, 1) - 0.25).abs() < 1e-12);
+    assert!((catch_up_probability(0.2, 3) - 1.0 / 64.0).abs() < 1e-12);
+    // q = 0.4 → q/p = 2/3; deficit 2 → 4/9.
+    assert!((catch_up_probability(0.4, 2) - 4.0 / 9.0).abs() < 1e-12);
+    // Deficit 0 is already caught up.
+    assert!((catch_up_probability(0.1, 0) - 1.0).abs() < 1e-12);
+}
+
+/// `z = 0` means the attacker only has to mine the next block first —
+/// Nakamoto's sum degenerates to 1 for any non-zero share.
+#[test]
+fn nakamoto_zero_confirmations_pinned() {
+    for q in [0.05, 0.25, 0.45] {
+        assert!((nakamoto_success_probability(q, 0) - 1.0).abs() < 1e-9);
+    }
+}
+
+/// Regression pins at shares between the published table columns
+/// (values computed once from the formula and frozen — any change to
+/// the Poisson/ruin arithmetic moves them).
+#[test]
+fn nakamoto_additional_reference_values() {
+    assert!((nakamoto_success_probability(0.15, 5) - 0.0067838).abs() < 1e-6);
+    assert!((nakamoto_success_probability(0.45, 5) - 0.7897858).abs() < 1e-6);
+    assert!((nakamoto_success_probability(0.45, 10) - 0.6854240).abs() < 1e-6);
+}
+
+/// The catch-up race can never be *easier* than overtaking from one
+/// block further behind: monotone in the deficit.
+#[test]
+fn catch_up_monotone_in_deficit() {
+    for q_permille in [100u32, 250, 400] {
+        let q = f64::from(q_permille) / 1000.0;
+        let mut last = 1.0 + 1e-12;
+        for deficit in 0..8 {
+            let p = catch_up_probability(q, deficit);
+            assert!(p < last, "q={q} deficit={deficit}: {p} !< {last}");
+            last = p;
+        }
+    }
+}
+
+/// The E2 sweep pairs each analytic point with its simulation at
+/// deficit z + 1; both columns must agree within Monte Carlo noise.
+#[test]
+fn integrity_sweep_columns_cross_validate() {
+    for point in integrity_sweep(&[0.1, 0.3], &[1, 3], 30_000, 11) {
+        let analytic = catch_up_probability(point.attacker_share, point.confirmations + 1);
+        assert!(
+            (point.simulated_probability - analytic).abs() < 0.02,
+            "q={} z={}: simulated {} vs closed form {analytic}",
+            point.attacker_share,
+            point.confirmations,
+            point.simulated_probability
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: across the sub-majority space the Monte Carlo race
+    /// converges to the gambler's-ruin closed form. `q` is drawn in
+    /// integer permille (the vendored proptest has no float strategies,
+    /// and integers keep failing cases exactly reproducible).
+    #[test]
+    fn simulation_converges_to_closed_form(
+        q_permille in 50u32..450,
+        deficit in 1u32..5,
+        seed in 0u64..1_000,
+    ) {
+        let q = f64::from(q_permille) / 1000.0;
+        let analytic = catch_up_probability(q, deficit);
+        let trials = 20_000;
+        let simulated = simulate_catch_up(q, deficit, trials, seed);
+        // Binomial standard error is at most 0.5/sqrt(trials) ≈ 0.0035;
+        // 6σ plus the truncation error of the walk's cutoff stays well
+        // under 0.025.
+        prop_assert!(
+            (simulated - analytic).abs() < 0.025,
+            "q={} deficit={} seed={}: simulated {} vs analytic {}",
+            q, deficit, seed, simulated, analytic
+        );
+    }
+
+    /// Property: one extra confirmation never helps the attacker, in
+    /// both the closed form and Nakamoto's formula.
+    #[test]
+    fn more_confirmations_never_help_the_attacker(
+        q_permille in 1u32..500,
+        z in 0u32..12,
+    ) {
+        let q = f64::from(q_permille) / 1000.0;
+        prop_assert!(
+            catch_up_probability(q, z + 1) <= catch_up_probability(q, z) + 1e-12
+        );
+        prop_assert!(
+            nakamoto_success_probability(q, z + 1)
+                <= nakamoto_success_probability(q, z) + 1e-12
+        );
+    }
+}

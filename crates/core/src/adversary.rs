@@ -65,6 +65,15 @@ pub trait Adversary {
     fn tamper_log(&mut self, _entry: &mut LogEntry, _now: SimTime) -> bool {
         false
     }
+
+    /// May replace a log entry's evidence (digest and sealed payload) with
+    /// evidence replayed from an earlier entry, possibly of another
+    /// tenant — a compromised LI trying to pass off stale observations as
+    /// current ones. The probe MAC covers the digest and sealed payload,
+    /// so the splice cannot re-MAC the forgery.
+    fn replay_log(&mut self, _entry: &mut LogEntry, _now: SimTime) -> bool {
+        false
+    }
 }
 
 /// The honest baseline: no hook ever fires.

@@ -29,7 +29,7 @@ use drams_policy::decision::Decision;
 use drams_policy::parser::{parse_policy_set, to_source};
 use drams_policy::policy::PolicySet;
 use drams_store::{SnapshotStore, StoreError};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One recorded policy-administration action, kept so a verification
 /// checkpoint can replay the authorised-version history exactly.
@@ -41,8 +41,9 @@ enum PolicyLogEntry {
     Publish(String, SimTime),
 }
 
-/// Version byte of the checkpoint encoding.
-const CHECKPOINT_VERSION: u8 = 1;
+/// Version byte of the checkpoint encoding. Version 2 added the fork
+/// sweep: its enable flag and the set of already-alerted fork points.
+const CHECKPOINT_VERSION: u8 = 2;
 
 /// The DRAMS Analyser.
 pub struct Analyser {
@@ -62,6 +63,14 @@ pub struct Analyser {
     /// verifier's authorised-version history.
     initial_policy: String,
     policy_log: Vec<PolicyLogEntry>,
+    /// Opt-in sibling-block sweep (see [`Analyser::enable_fork_detection`]).
+    /// Off by default: a library caller importing historical forks for
+    /// analysis must not be flooded with alerts.
+    fork_detection: bool,
+    /// Parent hashes whose sibling groups were already reported, so a
+    /// persisting fork is alerted exactly once across polls (and across
+    /// Analyser restarts — the set is checkpointed).
+    alerted_fork_parents: BTreeSet<[u8; 32]>,
     /// Optional durable checkpoint. When attached, [`Analyser::checkpoint`]
     /// persists cursors, probe keys and policy history, and
     /// [`Analyser::recover`] resumes a restarted Analyser without
@@ -103,8 +112,20 @@ impl Analyser {
             audited_txs: 0,
             initial_policy,
             policy_log: Vec::new(),
+            fork_detection: false,
+            alerted_fork_parents: BTreeSet::new(),
             checkpoint_store: None,
         }
+    }
+
+    /// Turns on the sibling-block sweep: every poll scans the block store
+    /// for parents with more than one child — the signature of a hostile
+    /// history rewrite or an equivocating (Byzantine) miner — and raises
+    /// one [`AlertKind::MonitorCompromise`] per fork point. Off by
+    /// default so importing historical side chains stays alert-free; the
+    /// scenario runtime enables it.
+    pub fn enable_fork_detection(&mut self) {
+        self.fork_detection = true;
     }
 
     /// The signing identity (register its fingerprint with the contract).
@@ -206,6 +227,11 @@ impl Analyser {
             w.put_str(text);
             w.put_u64(*at);
         }
+        w.put_u8(u8::from(self.fork_detection));
+        w.put_varint(self.alerted_fork_parents.len() as u64);
+        for parent in &self.alerted_fork_parents {
+            w.put_raw(parent);
+        }
         store.save(self.checked_groups, &w.into_bytes())
     }
 
@@ -265,11 +291,19 @@ impl Analyser {
                 }
             }
         }
+        let fork_detection = r.get_u8().map_err(codec)? != 0;
+        let fork_parents = r.get_varint().map_err(codec)?;
+        let mut alerted_fork_parents = BTreeSet::new();
+        for _ in 0..fork_parents {
+            alerted_fork_parents.insert(r.get_array::<32>().map_err(codec)?);
+        }
         r.finish().map_err(codec)?;
         analyser.event_cursor = event_cursor;
         analyser.checked_groups = checked_groups;
         analyser.audited_tip = audited_tip;
         analyser.audited_txs = audited_txs;
+        analyser.fork_detection = fork_detection;
+        analyser.alerted_fork_parents = alerted_fork_parents;
         analyser.checkpoint_store = Some(store);
         Ok(analyser)
     }
@@ -285,7 +319,8 @@ impl Analyser {
     /// paper's threat model, so log non-repudiation is checked by an
     /// independent component.
     pub fn poll(&mut self, node: &mut Node, now: SimTime) -> Vec<Alert> {
-        let audit_alerts = self.audit_new_blocks(node, now);
+        let mut audit_alerts = self.audit_new_blocks(node, now);
+        audit_alerts.extend(self.sweep_forks(node, now));
         let completed: Vec<CorrelationId> = {
             let (events, cursor) = node.events_since(self.event_cursor);
             self.event_cursor = cursor;
@@ -358,6 +393,44 @@ impl Analyser {
             }
         }
         self.audited_tip = tip;
+        alerts
+    }
+
+    /// The opt-in sibling-block sweep: a private monitoring chain mined by
+    /// one honest node is a pure line, so any parent with two or more
+    /// children means the history was rewritten under the monitor (a
+    /// hostile reorg) or a Byzantine miner equivocated. Each fork point is
+    /// reported once; the alerted set persists across polls and restarts.
+    fn sweep_forks(&mut self, node: &Node, now: SimTime) -> Vec<Alert> {
+        if !self.fork_detection {
+            return Vec::new();
+        }
+        let mut children: BTreeMap<[u8; 32], Vec<&drams_chain::block::BlockHeader>> =
+            BTreeMap::new();
+        let headers = node.chain().all_headers();
+        for header in &headers {
+            children
+                .entry(*header.parent.as_bytes())
+                .or_default()
+                .push(header);
+        }
+        let mut alerts = Vec::new();
+        for (parent, siblings) in &children {
+            if siblings.len() < 2 || !self.alerted_fork_parents.insert(*parent) {
+                continue;
+            }
+            let height = siblings[0].height;
+            alerts.push(Alert::new(
+                AlertKind::MonitorCompromise,
+                CorrelationId(0),
+                now,
+                format!(
+                    "chain fork: {} sibling blocks at height {height} share parent {}",
+                    siblings.len(),
+                    drams_chain::block::BlockHash::from(*parent),
+                ),
+            ));
+        }
         alerts
     }
 

@@ -159,8 +159,20 @@ pub struct GroundTruth {
     pub dropped_logs: Vec<(CorrelationId, ObservationPoint)>,
     /// Log entries altered inside a compromised LI.
     pub tampered_logs: Vec<(CorrelationId, ObservationPoint)>,
+    /// Log entries whose evidence was replaced with evidence replayed
+    /// from an earlier (possibly cross-tenant) entry.
+    pub replayed_logs: Vec<(CorrelationId, ObservationPoint)>,
+    /// Committed-log transactions a Byzantine chain node withheld from
+    /// its mempool; each suppressed entry is listed.
+    pub withheld_logs: Vec<(CorrelationId, ObservationPoint)>,
     /// Whether the PDP ran a swapped policy.
     pub policy_swapped: bool,
+    /// Hostile chain forks mounted (re-mining a suffix of the chain).
+    pub chain_forks: u64,
+    /// Equivocations mounted (two sibling blocks at the same height).
+    pub equivocations: u64,
+    /// Blocks injected carrying an invalid transaction signature.
+    pub invalid_sig_blocks: u64,
 }
 
 impl GroundTruth {
@@ -173,6 +185,11 @@ impl GroundTruth {
             + self.flipped_enforcements.len()
             + self.dropped_logs.len()
             + self.tampered_logs.len()
+            + self.replayed_logs.len()
+            + self.withheld_logs.len()
+            + self.chain_forks as usize
+            + self.equivocations as usize
+            + self.invalid_sig_blocks as usize
     }
 }
 

@@ -41,11 +41,12 @@ use crate::li::LoggingInterface;
 use crate::logent::{LogEntry, ObservationPoint, ProbeId};
 use crate::monitor::{GroundTruth, MonitorConfig, MonitorReport};
 use crate::probe::Probe;
+use drams_chain::block::Block;
 use drams_chain::chain::ChainConfig;
 use drams_chain::node::Node;
-use drams_chain::tx::TxId;
+use drams_chain::tx::{Transaction, TxId};
 use drams_crypto::aead::SymmetricKey;
-use drams_crypto::codec::Decode;
+use drams_crypto::codec::{Decode, Reader};
 use drams_crypto::schnorr::Keypair;
 use drams_crypto::sha256::Digest;
 use drams_faas::des::{Outbox, ServiceRuntime, SimService, SimTime, SECONDS};
@@ -220,6 +221,46 @@ pub enum ScriptedAction {
         /// Which service crashes.
         target: CrashTarget,
     },
+    /// Chain attack: a hostile miner re-mines the top `depth` blocks of
+    /// the main chain on a side branch (same transactions, shifted
+    /// timestamps) and extends it by one empty block, forcing a reorg of
+    /// the honest node. Contract state replays identically, so the
+    /// monitoring pipeline keeps running — only the Analyser's
+    /// sibling-block sweep can tell the history was rewritten.
+    ForkChain {
+        /// When the rewrite lands.
+        at: SimTime,
+        /// How many tip blocks the attacker rewrites (clamped to the
+        /// blocks above genesis).
+        depth: u64,
+    },
+    /// Byzantine chain node: mines **two** sibling blocks at the same
+    /// height on the same parent (different timestamps) and feeds both
+    /// to the network. One becomes a stale sibling — equivocation that
+    /// the Analyser's sibling-block sweep must flag.
+    EquivocateBlock {
+        /// When the equivocation happens.
+        at: SimTime,
+    },
+    /// Byzantine chain node: injects a structurally valid,
+    /// sufficiently-worked block that carries a transaction with a
+    /// forged signature. A node that skips signature verification
+    /// accepts it; the Analyser's independent audit must flag it.
+    InvalidSignatureBlock {
+        /// When the block is injected.
+        at: SimTime,
+    },
+    /// Byzantine chain node: silently discards one pending log
+    /// transaction from its mempool (a withheld commit) — the youngest
+    /// one of its Logging Interface, so the freed nonce slot is simply
+    /// reused by the LI's next flush. The entries the withheld
+    /// transaction carried never reach the chain, so the contract's
+    /// epoch sweep must raise `MissingLog` for each of them, and
+    /// nothing else may be disturbed.
+    WithholdTx {
+        /// When the transaction is discarded.
+        at: SimTime,
+    },
 }
 
 /// The service a [`ScriptedAction::CrashRestart`] kills and restarts.
@@ -247,7 +288,11 @@ impl ScriptedAction {
             | ScriptedAction::TenantLeave { at, .. }
             | ScriptedAction::StallLi { at, .. }
             | ScriptedAction::SilencePdp { at, .. }
-            | ScriptedAction::CrashRestart { at, .. } => *at,
+            | ScriptedAction::CrashRestart { at, .. }
+            | ScriptedAction::ForkChain { at, .. }
+            | ScriptedAction::EquivocateBlock { at }
+            | ScriptedAction::InvalidSignatureBlock { at }
+            | ScriptedAction::WithholdTx { at } => *at,
         }
     }
 }
@@ -445,6 +490,11 @@ impl Ctx<'_> {
                 .push((entry.correlation, entry.point));
             return;
         }
+        if self.adversary.replay_log(&mut entry, now) {
+            self.truth
+                .replayed_logs
+                .push((entry.correlation, entry.point));
+        }
         if self.adversary.tamper_log(&mut entry, now) {
             self.truth
                 .tampered_logs
@@ -453,6 +503,32 @@ impl Ctx<'_> {
         let latency = self.to_li.sample(&mut self.rngs.net);
         out.emit(latency, Msg::LiDeliver { li, entry });
     }
+}
+
+/// The `(correlation, point)` pairs a log-carrying transaction would have
+/// committed — the ground-truth labelling for a withheld commit.
+fn logged_entry_keys(tx: &Transaction) -> Vec<(CorrelationId, ObservationPoint)> {
+    let mut out = Vec::new();
+    match tx.method.as_str() {
+        "store_log" => {
+            if let Ok(entry) = LogEntry::from_canonical_bytes(&tx.payload) {
+                out.push((entry.correlation, entry.point));
+            }
+        }
+        "store_log_batch" => {
+            let mut r = Reader::new(&tx.payload);
+            if let Ok(n) = r.get_varint() {
+                for _ in 0..n {
+                    match LogEntry::decode(&mut r) {
+                        Ok(e) => out.push((e.correlation, e.point)),
+                        Err(_) => break,
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
+    out
 }
 
 fn assign_tx_times(
@@ -992,7 +1068,7 @@ impl Controller {
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for Controller {
-    fn handle(&mut self, _now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+    fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
         match msg {
             Msg::Script(i) => match self.script[i].clone() {
                 ScriptedAction::PublishPolicy { policy, .. } => {
@@ -1079,6 +1155,122 @@ impl<'a> SimService<Msg, Ctx<'a>> for Controller {
                         out.emit(0, Msg::CrashLi { li });
                     }
                 },
+                ScriptedAction::ForkChain { depth, .. } => {
+                    let tip_height = ctx.node.chain().tip_header().height;
+                    let depth = depth.min(tip_height);
+                    if depth == 0 {
+                        return; // nothing above genesis to rewrite — no attack mounted
+                    }
+                    let start = tip_height - depth + 1;
+                    let originals: Vec<Block> = (start..=tip_height)
+                        .map(|h| {
+                            ctx.node
+                                .chain()
+                                .block_at_height(h)
+                                .expect("main-chain height")
+                                .clone()
+                        })
+                        .collect();
+                    // Re-mine the suffix on a side branch: same transactions
+                    // and timestamps (so the contract re-executes to
+                    // byte-identical events after the reorg), different nonce
+                    // (so the rewritten blocks hash differently).
+                    let mut parent = originals[0].header.parent;
+                    let mut last_ts = 0;
+                    for orig in originals {
+                        let mut block = orig;
+                        block.header.parent = parent;
+                        block.header.nonce = block.header.nonce.wrapping_add(1);
+                        while !block.header.meets_difficulty() {
+                            block.header.nonce = block.header.nonce.wrapping_add(1);
+                        }
+                        parent = block.hash();
+                        last_ts = block.header.timestamp_ms;
+                        ctx.node.receive_block(block).expect("side-branch import");
+                    }
+                    // One extra empty block out-works the honest chain and
+                    // forces the reorg.
+                    let bits = ctx
+                        .node
+                        .chain()
+                        .required_difficulty(&parent)
+                        .expect("side-branch difficulty");
+                    let extra = Block::mine(parent, tip_height + 1, Vec::new(), last_ts + 1, bits);
+                    ctx.node.receive_block(extra).expect("fork reorg import");
+                    ctx.truth.chain_forks += 1;
+                }
+                ScriptedAction::EquivocateBlock { .. } => {
+                    let parent = ctx.node.chain().tip_hash();
+                    let height = ctx.node.chain().tip_header().height + 1;
+                    let bits = ctx
+                        .node
+                        .chain()
+                        .required_difficulty(&parent)
+                        .expect("tip difficulty");
+                    let first = Block::mine(parent, height, Vec::new(), now, bits);
+                    let second = Block::mine(parent, height, Vec::new(), now + 1, bits);
+                    ctx.node.receive_block(first).expect("equivocation import");
+                    ctx.node
+                        .receive_block(second)
+                        .expect("equivocation sibling import");
+                    ctx.truth.equivocations += 1;
+                }
+                ScriptedAction::InvalidSignatureBlock { .. } => {
+                    // A correctly signed transaction whose payload is altered
+                    // after signing: structurally valid, id consistent, but
+                    // the signature no longer verifies. The simulated node
+                    // skips import-time signature checks (the Byzantine
+                    // premise); the Analyser's independent audit must not.
+                    let forger = Keypair::from_seed(b"drams-byzantine-miner");
+                    let mut tx = Transaction::new_signed(&forger, 0, "bogus", "noop", Vec::new());
+                    tx.payload = b"forged".to_vec();
+                    let parent = ctx.node.chain().tip_hash();
+                    let height = ctx.node.chain().tip_header().height + 1;
+                    let bits = ctx
+                        .node
+                        .chain()
+                        .required_difficulty(&parent)
+                        .expect("tip difficulty");
+                    let block = Block::mine(parent, height, vec![tx], now, bits);
+                    ctx.node
+                        .receive_block(block)
+                        .expect("byzantine block import");
+                    ctx.truth.invalid_sig_blocks += 1;
+                }
+                ScriptedAction::WithholdTx { .. } => {
+                    // Withhold the *youngest* (highest-nonce) pending log
+                    // transaction of the first LI with commits in flight.
+                    // Its nonce slot is the sender's next to be reused, so
+                    // the withhold suppresses exactly the entries the
+                    // transaction carries. Withholding an older-nonce
+                    // transaction would additionally wedge every
+                    // later-nonce commit of that account (LIs are
+                    // fire-and-forget and never repair a nonce gap) — a
+                    // consequential cascade the ground truth could not
+                    // label entry-by-entry.
+                    let is_log_tx = |tx: &&drams_chain::tx::Transaction| {
+                        tx.contract == MONITOR_CONTRACT
+                            && (tx.method == "store_log" || tx.method == "store_log_batch")
+                    };
+                    let sender = ctx
+                        .node
+                        .pending_transactions()
+                        .find(is_log_tx)
+                        .map(drams_chain::tx::Transaction::sender_address);
+                    let target = sender.and_then(|address| {
+                        ctx.node
+                            .pending_transactions()
+                            .filter(is_log_tx)
+                            .filter(|tx| tx.sender_address() == address)
+                            .max_by_key(|tx| tx.nonce)
+                            .map(drams_chain::tx::Transaction::id)
+                    });
+                    if let Some(id) = target {
+                        if let Some(tx) = ctx.node.withhold_transaction(&id) {
+                            ctx.truth.withheld_logs.extend(logged_entry_keys(&tx));
+                        }
+                    }
+                }
             },
             Msg::ActivateTenant { tenant } => {
                 if !ctx.tenants[tenant].departed {
@@ -1203,6 +1395,12 @@ pub fn run_scenario<A: Adversary>(
         initial_difficulty_bits: 0,
         retarget_interval: 0,
         max_block_txs: 4096,
+        // The threat model includes a Byzantine chain node that accepts
+        // blocks carrying forged transaction signatures, so the simulated
+        // node's import path does not verify them — log non-repudiation
+        // rests on the Analyser's independent signature audit, which is
+        // the paper's trust assumption anyway.
+        verify_signatures: false,
         ..ChainConfig::default()
     };
     // The node journals write-ahead into a shared WAL (in-memory medium,
@@ -1234,6 +1432,12 @@ pub fn run_scenario<A: Adversary>(
     }
     let event_cursor = node.events().len();
     let mut analyser = Analyser::new(authorised, key.clone(), analyser_kp, probe_mac_keys);
+    // The scenario runtime's chain is mined by a single honest node, so
+    // any sibling block means a rewritten history or an equivocating
+    // miner — turn the sweep on (the flag and the alerted-fork set ride
+    // in the checkpoint, so a recovered Analyser keeps it without
+    // re-alerting known forks). Enabled before the first checkpoint.
+    analyser.enable_fork_detection();
     analyser
         .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
         .expect("analyser checkpoint");

@@ -1,0 +1,549 @@
+//! Deterministic scenario generation: one seed, one fuzz case.
+//!
+//! [`generate`] maps a `u64` seed to a [`FuzzCase`] — a complete
+//! [`ScenarioSpec`] plus an [`AttackPlan`] describing what (if anything)
+//! attacks the run. The mapping is pure: the same seed always yields the
+//! same case, so a failing seed *is* the reproduction. Seeds below
+//! [`COVERAGE_PRELUDE`] are directed — they enumerate every attack
+//! family once, so any budget that includes the prelude exercises the
+//! whole threat matrix; seeds beyond it draw the class at random.
+
+use drams_attack::{FaultWindow, ScriptedAdversary, ThreatKind, WindowedAdversary};
+use drams_core::adversary::{Adversary, NoAdversary};
+use drams_core::logent::LogEntry;
+use drams_core::monitor::MonitorConfig;
+use drams_core::scenario::{CrashTarget, PdpPlacement, Phase, ScenarioSpec, ScriptedAction};
+use drams_faas::des::{SimTime, MILLIS};
+use drams_faas::model::{CloudId, FederationSpec, TenantId};
+use drams_faas::msg::{RequestEnvelope, ResponseEnvelope};
+use drams_policy::attr::{AttributeId, Category};
+use drams_policy::combining::CombiningAlg;
+use drams_policy::decision::Effect;
+use drams_policy::expr::Expr;
+use drams_policy::policy::{Policy, PolicySet};
+use drams_policy::rule::Rule;
+use drams_policy::target::Target;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Seeds below this value enumerate every attack family deterministically
+/// (4 chain attacks, 9 campaign threats, honest, honest+crash,
+/// campaign+crash); any seed budget containing `0..COVERAGE_PRELUDE`
+/// covers the whole threat matrix.
+pub const COVERAGE_PRELUDE: u64 = 16;
+
+/// The Byzantine chain-node attack families (script-injected, as opposed
+/// to the hook-injected [`ThreatKind`] campaigns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainAttackKind {
+    /// Re-mine a suffix of the chain on a side branch and force a reorg.
+    Fork,
+    /// Mine two sibling blocks at the same height.
+    Equivocate,
+    /// Inject a block carrying a forged transaction signature.
+    InvalidSignature,
+    /// Silently discard a pending log transaction from the mempool.
+    Withhold,
+}
+
+impl ChainAttackKind {
+    /// All four families.
+    pub const ALL: [ChainAttackKind; 4] = [
+        ChainAttackKind::Fork,
+        ChainAttackKind::Equivocate,
+        ChainAttackKind::InvalidSignature,
+        ChainAttackKind::Withhold,
+    ];
+
+    /// Short name for tables.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ChainAttackKind::Fork => "fork-chain",
+            ChainAttackKind::Equivocate => "equivocate-block",
+            ChainAttackKind::InvalidSignature => "invalid-sig-block",
+            ChainAttackKind::Withhold => "withhold-tx",
+        }
+    }
+}
+
+/// What attacks a generated scenario, if anything.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttackPlan {
+    /// No adversary hooks; the scenario may still carry churn, policy
+    /// flips, phases and crash-restarts. Chain-level attacks (which ride
+    /// in the script, not in the adversary) also use this plan.
+    Honest,
+    /// A windowed [`ScriptedAdversary`] campaign: `kind` fires with
+    /// `permille`/1000 per-event probability inside `[from, until)`.
+    Campaign {
+        /// The mounted threat.
+        kind: ThreatKind,
+        /// Per-event firing probability in permille (integers render and
+        /// compare exactly; floats do not).
+        permille: u32,
+        /// Window start (inclusive).
+        from: SimTime,
+        /// Window end (exclusive).
+        until: SimTime,
+        /// The adversary's RNG seed.
+        adversary_seed: u64,
+    },
+}
+
+impl AttackPlan {
+    /// Builds the adversary this plan describes. Called once per run —
+    /// the crash-twin oracle builds it twice from the same plan so both
+    /// runs see an identical hook sequence.
+    #[must_use]
+    pub fn build(&self) -> PlannedAdversary {
+        match self {
+            AttackPlan::Honest => PlannedAdversary::Honest(NoAdversary),
+            AttackPlan::Campaign {
+                kind,
+                permille,
+                from,
+                until,
+                adversary_seed,
+            } => PlannedAdversary::Campaign(WindowedAdversary::new(
+                ScriptedAdversary::new(*kind, f64::from(*permille) / 1000.0, *adversary_seed),
+                vec![FaultWindow::new(*from, *until)],
+            )),
+        }
+    }
+
+    /// The campaign's threat kind, if this plan is a campaign.
+    #[must_use]
+    pub fn campaign_kind(&self) -> Option<ThreatKind> {
+        match self {
+            AttackPlan::Honest => None,
+            AttackPlan::Campaign { kind, .. } => Some(*kind),
+        }
+    }
+}
+
+/// The adversary built from an [`AttackPlan`] — a closed enum rather
+/// than a trait object so the same plan can be rebuilt bit-identically
+/// for twin runs.
+#[derive(Debug)]
+pub enum PlannedAdversary {
+    /// No hooks fire.
+    Honest(NoAdversary),
+    /// A windowed scripted campaign.
+    Campaign(WindowedAdversary<ScriptedAdversary>),
+}
+
+impl Adversary for PlannedAdversary {
+    fn tamper_request_in_transit(&mut self, envelope: &mut RequestEnvelope, now: SimTime) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.tamper_request_in_transit(envelope, now),
+            PlannedAdversary::Campaign(a) => a.tamper_request_in_transit(envelope, now),
+        }
+    }
+
+    fn tamper_response_in_transit(
+        &mut self,
+        envelope: &mut ResponseEnvelope,
+        now: SimTime,
+    ) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.tamper_response_in_transit(envelope, now),
+            PlannedAdversary::Campaign(a) => a.tamper_response_in_transit(envelope, now),
+        }
+    }
+
+    fn swap_policy(&mut self, authorised: &PolicySet) -> Option<PolicySet> {
+        match self {
+            PlannedAdversary::Honest(a) => a.swap_policy(authorised),
+            PlannedAdversary::Campaign(a) => a.swap_policy(authorised),
+        }
+    }
+
+    fn corrupt_pdp_decision(&mut self, envelope: &mut ResponseEnvelope, now: SimTime) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.corrupt_pdp_decision(envelope, now),
+            PlannedAdversary::Campaign(a) => a.corrupt_pdp_decision(envelope, now),
+        }
+    }
+
+    fn flip_enforcement(&mut self, granted: &mut bool, now: SimTime) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.flip_enforcement(granted, now),
+            PlannedAdversary::Campaign(a) => a.flip_enforcement(granted, now),
+        }
+    }
+
+    fn drop_log(&mut self, entry: &LogEntry, now: SimTime) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.drop_log(entry, now),
+            PlannedAdversary::Campaign(a) => a.drop_log(entry, now),
+        }
+    }
+
+    fn tamper_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.tamper_log(entry, now),
+            PlannedAdversary::Campaign(a) => a.tamper_log(entry, now),
+        }
+    }
+
+    fn replay_log(&mut self, entry: &mut LogEntry, now: SimTime) -> bool {
+        match self {
+            PlannedAdversary::Honest(a) => a.replay_log(entry, now),
+            PlannedAdversary::Campaign(a) => a.replay_log(entry, now),
+        }
+    }
+}
+
+/// One generated fuzz case: the scenario and its attack plan.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// The generating seed (the reproduction handle).
+    pub seed: u64,
+    /// The scenario to run.
+    pub spec: ScenarioSpec,
+    /// What attacks it.
+    pub plan: AttackPlan,
+}
+
+impl FuzzCase {
+    /// The attack families this case exercises, by short name — the
+    /// campaign threat and/or any chain-attack script actions.
+    #[must_use]
+    pub fn families(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if let Some(kind) = self.plan.campaign_kind() {
+            out.push(kind.name());
+        }
+        for action in &self.spec.script {
+            match action {
+                ScriptedAction::ForkChain { .. } => out.push(ChainAttackKind::Fork.name()),
+                ScriptedAction::EquivocateBlock { .. } => {
+                    out.push(ChainAttackKind::Equivocate.name());
+                }
+                ScriptedAction::InvalidSignatureBlock { .. } => {
+                    out.push(ChainAttackKind::InvalidSignature.name());
+                }
+                ScriptedAction::WithholdTx { .. } => out.push(ChainAttackKind::Withhold.name()),
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Whether the script carries a crash-restart point.
+    #[must_use]
+    pub fn has_crash(&self) -> bool {
+        self.spec
+            .script
+            .iter()
+            .any(|a| matches!(a, ScriptedAction::CrashRestart { .. }))
+    }
+}
+
+/// The stricter policy the generator publishes mid-run (only doctors,
+/// nothing else) — the fuzz analogue of the E10 `policy_flip` scenario.
+#[must_use]
+pub fn strict_policy() -> PolicySet {
+    PolicySet::builder("fuzz-strict-root", CombiningAlg::DenyUnlessPermit)
+        .policy(
+            Policy::builder("doctors-only", CombiningAlg::PermitOverrides)
+                .rule(
+                    Rule::builder("doctors", Effect::Permit)
+                        .target(Target::expr(Expr::equal(
+                            Expr::attr(AttributeId::new(Category::Subject, "role")),
+                            Expr::lit("doctor"),
+                        )))
+                        .build(),
+                )
+                .build(),
+        )
+        .build()
+}
+
+/// The scenario classes the generator draws from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Class {
+    Honest { crash: bool },
+    Campaign { kind: ThreatKind, crash: bool },
+    Chain(ChainAttackKind),
+}
+
+fn ms(v: u64) -> SimTime {
+    v * MILLIS
+}
+
+/// Generates the case for `seed`. Pure and total: every seed yields a
+/// runnable case whose oracle expectations are sound by construction
+/// (e.g. chain attacks are never combined with a chain-node crash, and
+/// fault classes that legitimately alert are never labelled honest).
+#[must_use]
+pub fn generate(seed: u64) -> FuzzCase {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ seed);
+
+    let class = if seed < COVERAGE_PRELUDE {
+        directed_class(seed)
+    } else {
+        random_class(&mut rng)
+    };
+
+    // --- base deployment ---------------------------------------------------
+    let clouds = if rng.gen_bool(0.25) { 3 } else { 2 };
+    let mut config = MonitorConfig {
+        federation: FederationSpec::symmetric(clouds, 2, 2),
+        total_requests: rng.gen_range(40..=100),
+        request_rate_per_sec: rng.gen_range(80..=300) as f64,
+        seed: rng.gen_range(0..u64::MAX),
+        ..MonitorConfig::default()
+    };
+    let placement = if rng.gen_bool(0.25) {
+        PdpPlacement::PerCloud
+    } else {
+        PdpPlacement::Central
+    };
+
+    // --- phased load -------------------------------------------------------
+    let mut phases = Vec::new();
+    if rng.gen_bool(0.5) {
+        phases.push(Phase {
+            start: 0,
+            rate_per_sec: config.request_rate_per_sec,
+        });
+        let extra = rng.gen_range(1..=2);
+        let mut start = 0u64;
+        for _ in 0..extra {
+            start += rng.gen_range(300u64..1200);
+            phases.push(Phase {
+                start: ms(start),
+                rate_per_sec: rng.gen_range(50..=500) as f64,
+            });
+        }
+    }
+
+    // --- benign churn and policy administration ----------------------------
+    let member_tenants = config.federation.tenant_count() as u32;
+    let mut script: Vec<ScriptedAction> = Vec::new();
+    if rng.gen_bool(0.35) {
+        script.push(ScriptedAction::TenantJoin {
+            at: ms(rng.gen_range(200..1500)),
+            cloud: CloudId(rng.gen_range(0..u64::from(clouds)) as u32),
+            services: 2,
+        });
+    }
+    if rng.gen_bool(0.25) {
+        script.push(ScriptedAction::TenantLeave {
+            at: ms(rng.gen_range(400..1800)),
+            tenant: TenantId(rng.gen_range(1..=u64::from(member_tenants)) as u32),
+        });
+    }
+    if rng.gen_bool(0.3) {
+        let at = rng.gen_range(300u64..900);
+        script.push(ScriptedAction::PublishPolicy {
+            at: ms(at),
+            policy: strict_policy(),
+        });
+        if rng.gen_bool(0.5) {
+            script.push(ScriptedAction::RollbackPolicy {
+                at: ms(at + rng.gen_range(200u64..800)),
+                version: 0,
+            });
+        }
+    }
+
+    // --- class-specific content --------------------------------------------
+    let plan = match class {
+        Class::Honest { crash } => {
+            if crash {
+                script.push(crash_action(&mut rng));
+            }
+            AttackPlan::Honest
+        }
+        Class::Campaign { kind, crash } => {
+            if crash {
+                script.push(crash_action(&mut rng));
+            }
+            // The policy swap happens at deployment time, so its window
+            // must cover virtual time 0 to fire at all.
+            let from = if kind == ThreatKind::SwapPolicy {
+                0
+            } else {
+                ms(rng.gen_range(50..400))
+            };
+            let until = from + ms(rng.gen_range(600..1500));
+            AttackPlan::Campaign {
+                kind,
+                permille: rng.gen_range(80..=250),
+                from,
+                until,
+                adversary_seed: rng.gen_range(0..u64::MAX),
+            }
+        }
+        Class::Chain(kind) => {
+            script.push(match kind {
+                ChainAttackKind::Fork => ScriptedAction::ForkChain {
+                    at: ms(rng.gen_range(700..1600)),
+                    depth: rng.gen_range(1..=3),
+                },
+                ChainAttackKind::Equivocate => ScriptedAction::EquivocateBlock {
+                    at: ms(rng.gen_range(600..1600)),
+                },
+                ChainAttackKind::InvalidSignature => ScriptedAction::InvalidSignatureBlock {
+                    at: ms(rng.gen_range(600..1600)),
+                },
+                // Early enough that log transactions are still flowing
+                // through the mempool — a withhold with nothing pending
+                // is a no-op (and labelled as such in the ground truth).
+                ChainAttackKind::Withhold => ScriptedAction::WithholdTx {
+                    at: ms(rng.gen_range(300..900)),
+                },
+            });
+            AttackPlan::Honest
+        }
+    };
+
+    script.sort_by_key(ScriptedAction::at);
+    // Put the class into the seed's name so shrunk reproductions and
+    // trajectory tables stay self-describing.
+    let label = match class {
+        Class::Honest { crash: false } => "honest".to_string(),
+        Class::Honest { crash: true } => "honest_crash".to_string(),
+        Class::Campaign { kind, crash } => {
+            format!("{}{}", kind.name(), if crash { "_crash" } else { "" })
+        }
+        Class::Chain(kind) => kind.name().to_string(),
+    };
+    config.horizon = 600 * drams_faas::des::SECONDS;
+    FuzzCase {
+        seed,
+        spec: ScenarioSpec {
+            name: format!("fuzz_{seed}_{label}"),
+            config,
+            phases,
+            placement,
+            script,
+        },
+        plan,
+    }
+}
+
+/// The deterministic coverage prelude: seeds `0..=3` mount the four
+/// chain-attack families, `4..=12` the nine campaign threats, `13` is
+/// honest, `14` honest with a chain-node crash, `15` a drop-log campaign
+/// with an LI crash.
+fn directed_class(seed: u64) -> Class {
+    match seed {
+        0..=3 => Class::Chain(ChainAttackKind::ALL[seed as usize]),
+        4..=12 => Class::Campaign {
+            kind: ThreatKind::ALL[(seed - 4) as usize],
+            crash: false,
+        },
+        13 => Class::Honest { crash: false },
+        14 => Class::Honest { crash: true },
+        _ => Class::Campaign {
+            kind: ThreatKind::DropLog,
+            crash: true,
+        },
+    }
+}
+
+fn random_class(rng: &mut StdRng) -> Class {
+    match rng.gen_range(0..10u32) {
+        0..=2 => Class::Honest {
+            crash: rng.gen_bool(0.4),
+        },
+        3..=7 => Class::Campaign {
+            kind: ThreatKind::ALL[rng.gen_range(0..ThreatKind::ALL.len())],
+            crash: rng.gen_bool(0.25),
+        },
+        _ => Class::Chain(ChainAttackKind::ALL[rng.gen_range(0..ChainAttackKind::ALL.len())]),
+    }
+}
+
+/// A crash-restart of a random monitoring-plane service. Chain-attack
+/// scenarios never call this ([`random_class`] keeps the classes
+/// disjoint): a forked or withheld-from node's journal interplay with
+/// replay is covered by dedicated tests, not left to chance labelling.
+fn crash_action(rng: &mut StdRng) -> ScriptedAction {
+    let target = match rng.gen_range(0..4u32) {
+        0 => CrashTarget::ChainNode,
+        1 => CrashTarget::Li(TenantId(1)),
+        2 => CrashTarget::Li(TenantId::INFRASTRUCTURE),
+        _ => CrashTarget::Analyser,
+    };
+    ScriptedAction::CrashRestart {
+        at: ms(rng.gen_range(300..800)),
+        target,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        for seed in [0u64, 7, 16, 99, 1_000_003] {
+            let a = generate(seed);
+            let b = generate(seed);
+            assert_eq!(a.spec.name, b.spec.name);
+            assert_eq!(a.spec.config.seed, b.spec.config.seed);
+            assert_eq!(a.spec.config.total_requests, b.spec.config.total_requests);
+            assert_eq!(a.spec.phases, b.spec.phases);
+            assert_eq!(a.plan, b.plan);
+            assert_eq!(a.spec.script.len(), b.spec.script.len());
+        }
+    }
+
+    #[test]
+    fn prelude_covers_every_family() {
+        let mut families: Vec<&'static str> = Vec::new();
+        for seed in 0..COVERAGE_PRELUDE {
+            families.extend(generate(seed).families());
+        }
+        for kind in ThreatKind::ALL {
+            assert!(families.contains(&kind.name()), "missing {kind}");
+        }
+        for kind in ChainAttackKind::ALL {
+            assert!(families.contains(&kind.name()), "missing {}", kind.name());
+        }
+    }
+
+    #[test]
+    fn prelude_includes_crash_cases() {
+        let crashes = (0..COVERAGE_PRELUDE)
+            .filter(|&s| generate(s).has_crash())
+            .count();
+        assert!(crashes >= 2, "prelude must exercise the crash-twin oracle");
+    }
+
+    #[test]
+    fn scripts_are_sorted_by_time() {
+        for seed in 0..64 {
+            let case = generate(seed);
+            let times: Vec<_> = case.spec.script.iter().map(ScriptedAction::at).collect();
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            assert_eq!(times, sorted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn chain_attacks_never_combine_with_crashes() {
+        for seed in 0..256 {
+            let case = generate(seed);
+            let chain = case.spec.script.iter().any(|a| {
+                matches!(
+                    a,
+                    ScriptedAction::ForkChain { .. }
+                        | ScriptedAction::EquivocateBlock { .. }
+                        | ScriptedAction::InvalidSignatureBlock { .. }
+                        | ScriptedAction::WithholdTx { .. }
+                )
+            });
+            assert!(
+                !(chain && case.has_crash()),
+                "seed {seed} mixes a chain attack with a crash"
+            );
+        }
+    }
+}

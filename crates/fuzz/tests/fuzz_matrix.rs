@@ -1,0 +1,57 @@
+//! Fixed-seed fuzz corpus, oracle-checked end to end.
+//!
+//! The coverage prelude (`0..COVERAGE_PRELUDE`) deterministically
+//! exercises every attack family — all nine hook campaigns and all four
+//! Byzantine chain-node behaviours — plus honest and crash-twin cases;
+//! a random tail of seeds beyond the prelude adds churny mixed
+//! scenarios. Every case must pass the three-part oracle (attacks
+//! detected, honest runs alert-free, crashed runs twin-identical), so
+//! this test is the pinned, always-on slice of experiment E12.
+
+use drams_fuzz::{generate, run_case, ChainAttackKind, COVERAGE_PRELUDE};
+use std::collections::BTreeSet;
+
+#[test]
+fn coverage_prelude_passes_the_oracle() {
+    let mut families: BTreeSet<&'static str> = BTreeSet::new();
+    let mut violations = Vec::new();
+    let mut injected = 0usize;
+    let mut detected = 0usize;
+    let mut twins = 0usize;
+    for seed in 0..COVERAGE_PRELUDE {
+        let case = generate(seed);
+        families.extend(case.families());
+        let outcome = run_case(&case);
+        injected += outcome.attacks_injected;
+        detected += outcome.attacks_detected;
+        twins += usize::from(outcome.crash_twin_checked);
+        violations.extend(outcome.violations);
+    }
+    assert!(violations.is_empty(), "oracle violations:\n{violations:#?}");
+    assert!(injected > 0, "the prelude must actually attack");
+    assert_eq!(detected, injected, "every injected attack must be detected");
+    assert!(
+        twins >= 2,
+        "the prelude must exercise the crash-twin clause"
+    );
+
+    // All four new threat families of this milestone are represented...
+    for kind in ChainAttackKind::ALL {
+        assert!(families.contains(kind.name()), "missing {}", kind.name());
+    }
+    assert!(families.contains("collude-pdp-li"));
+    assert!(families.contains("replay-log"));
+    // ...alongside the pre-existing campaign catalogue.
+    for name in ["tamper-request", "drop-log", "swap-policy"] {
+        assert!(families.contains(name), "missing {name}");
+    }
+}
+
+#[test]
+fn random_tail_passes_the_oracle() {
+    let mut violations = Vec::new();
+    for seed in COVERAGE_PRELUDE..COVERAGE_PRELUDE + 8 {
+        violations.extend(run_case(&generate(seed)).violations);
+    }
+    assert!(violations.is_empty(), "oracle violations:\n{violations:#?}");
+}

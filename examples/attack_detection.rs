@@ -1,10 +1,11 @@
 //! Attack detection: inject every threat from the paper's threat model
 //! and watch DRAMS catch it.
 //!
-//! For each of the seven threats (tampered requests/responses, corrupted
+//! For each of the nine threats (tampered requests/responses, corrupted
 //! decisions, flipped enforcement, dropped logs, compromised LI, swapped
-//! policy) this example runs the full monitored federation with a
-//! scripted adversary and prints the detection scoreboard.
+//! policy, colluding PDP+LI, cross-tenant log replay) this example runs
+//! the full monitored federation with a scripted adversary and prints
+//! the detection scoreboard.
 //!
 //! Run with: `cargo run --example attack_detection`
 
