@@ -115,6 +115,41 @@ impl MonitorContract {
             .insert(b"cfg/timeout".to_vec(), timeout.to_be_bytes().to_vec());
         ctx.storage
             .insert(b"cfg/analyser".to_vec(), analyser.as_bytes().to_vec());
+        // The initialising sender becomes the contract admin — the only
+        // party allowed to retune the epoch timeout later (degraded-mode
+        // widening during declared fault windows).
+        ctx.storage.insert(
+            b"cfg/admin".to_vec(),
+            ctx.sender_address().as_bytes().to_vec(),
+        );
+        Ok(())
+    }
+
+    /// Builds the payload for the `set_timeout` method.
+    #[must_use]
+    pub fn set_timeout_payload(timeout_us: u64) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(timeout_us);
+        w.into_bytes()
+    }
+
+    fn handle_set_timeout(ctx: &mut ExecutionContext<'_>, payload: &[u8]) -> Result<(), String> {
+        let admin = ctx
+            .storage
+            .get(b"cfg/admin")
+            .cloned()
+            .ok_or("not initialised")?;
+        if ctx.sender_address().as_bytes().as_slice() != admin.as_slice() {
+            return Err("sender is not the contract admin".into());
+        }
+        let mut r = Reader::new(payload);
+        let timeout = r.get_u64().map_err(|e| e.to_string())?;
+        r.finish().map_err(|e| e.to_string())?;
+        if timeout == 0 {
+            return Err("timeout must be positive".into());
+        }
+        ctx.storage
+            .insert(b"cfg/timeout".to_vec(), timeout.to_be_bytes().to_vec());
         Ok(())
     }
 
@@ -329,6 +364,7 @@ impl SmartContract for MonitorContract {
                 Ok(())
             }
             "advance_epoch" => Self::handle_advance_epoch(ctx),
+            "set_timeout" => Self::handle_set_timeout(ctx, payload),
             "report_violation" => Self::handle_report_violation(ctx, payload),
             other => Err(format!("unknown method `{other}`")),
         }
@@ -580,6 +616,79 @@ mod tests {
         let alerts = alert_events(&node);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].kind, AlertKind::PolicyViolation);
+    }
+
+    #[test]
+    fn set_timeout_widens_the_sweep_and_is_admin_gated() {
+        let (mut node, li, analyser) = test_node(); // li initialised → li is admin
+                                                    // Open a group with one entry at t=100; base timeout is 10_000.
+        submit_entry(
+            &mut node,
+            &li,
+            &entry(9, ObservationPoint::PepRequest, b"x", 100),
+        );
+        node.mine_block(1_000).unwrap();
+        // A non-admin (the analyser) may not retune the timeout.
+        let id = node
+            .submit_call(
+                &analyser,
+                MONITOR_CONTRACT,
+                "set_timeout",
+                MonitorContract::set_timeout_payload(1_000_000),
+            )
+            .unwrap();
+        node.mine_block(2_000).unwrap();
+        assert!(matches!(
+            node.receipt(&id).unwrap().1,
+            drams_chain::contract::TxStatus::Failed(_)
+        ));
+        // The admin widens the timeout; the sweep at 50_000 (far past the
+        // base deadline 100 + 10_000) must now stay silent.
+        node.submit_call(
+            &li,
+            MONITOR_CONTRACT,
+            "set_timeout",
+            MonitorContract::set_timeout_payload(1_000_000),
+        )
+        .unwrap();
+        node.mine_block(3_000).unwrap();
+        node.submit_call(&li, MONITOR_CONTRACT, "advance_epoch", vec![])
+            .unwrap();
+        node.mine_block(50_000).unwrap();
+        assert!(alert_events(&node).is_empty(), "widened timeout held");
+        // Restoring the base timeout re-arms the sweep: the group is now
+        // long past first_seen + 10_000 and must alert.
+        node.submit_call(
+            &li,
+            MONITOR_CONTRACT,
+            "set_timeout",
+            MonitorContract::set_timeout_payload(10_000),
+        )
+        .unwrap();
+        node.mine_block(51_000).unwrap();
+        node.submit_call(&li, MONITOR_CONTRACT, "advance_epoch", vec![])
+            .unwrap();
+        node.mine_block(52_000).unwrap();
+        let alerts = alert_events(&node);
+        assert!(!alerts.is_empty(), "restored timeout sweeps the group");
+        assert!(alerts
+            .iter()
+            .all(|a| matches!(a.kind, AlertKind::MissingLog { .. })));
+    }
+
+    #[test]
+    fn set_timeout_rejects_zero_and_garbage() {
+        let (mut node, li, _) = test_node();
+        for payload in [MonitorContract::set_timeout_payload(0), vec![1, 2, 3]] {
+            let id = node
+                .submit_call(&li, MONITOR_CONTRACT, "set_timeout", payload)
+                .unwrap();
+            node.mine_block(1_000).unwrap();
+            assert!(matches!(
+                node.receipt(&id).unwrap().1,
+                drams_chain::contract::TxStatus::Failed(_)
+            ));
+        }
     }
 
     #[test]

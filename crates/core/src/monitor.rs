@@ -200,7 +200,8 @@ pub struct MonitorReport {
     pub requests_issued: u64,
     /// Requests whose response reached enforcement.
     pub requests_completed: u64,
-    /// Requests swallowed by a silenced PDP (scenario fault windows);
+    /// Requests the PEP abandoned after its retry deadline budget ran
+    /// out (the PDP stayed unreachable through every backoff attempt);
     /// always 0 in the canonical scenario.
     pub requests_dropped: u64,
     /// Accesses actually granted / refused.
@@ -230,6 +231,28 @@ pub struct MonitorReport {
     /// Scripted crash-restarts executed (E11 recovery scenarios); 0 in
     /// the canonical scenario.
     pub crash_restarts: u64,
+    /// PEP→PDP resends after an attempt timeout (capped exponential
+    /// backoff); 0 on a perfect network.
+    pub retries_total: u64,
+    /// Requests that completed through a non-home PDP slot after the
+    /// home slot's circuit breaker opened.
+    pub failovers: u64,
+    /// Circuit-breaker Closed→Open transitions across all PEP views.
+    pub breaker_trips: u64,
+    /// Entries an LI spilled to its WAL while the chain was unreachable.
+    pub li_spilled: u64,
+    /// Spilled entries replayed to the chain after the partition healed.
+    pub li_replayed: u64,
+    /// Degraded-mode epoch-timeout changes committed on-chain (widen +
+    /// restore transactions).
+    pub timeout_retunes: u64,
+    /// End-to-end latency of requests that completed on a failover slot.
+    pub failover_e2e: LatencyStats,
+    /// Per-LI partition recovery time: heal → spill fully replayed.
+    pub spill_recovery: LatencyStats,
+    /// What the network fault plane did to traffic (all zero on a
+    /// perfect network).
+    pub faults: drams_faas::fault::FaultStats,
     /// Virtual time at which the run ended.
     pub finished_at: SimTime,
 }

@@ -18,6 +18,17 @@
 //! no phases, central PDP, empty script — reproduces the classic
 //! [`run_monitor`](crate::monitor::run_monitor) deployment exactly.
 //!
+//! A declared [`FaultPlan`] additionally interposes a deterministic
+//! [`FaultPlane`] between every service outbox and the event queue:
+//! per-link drop / duplicate / reorder / delay faults and timed
+//! partitions between named sites. The protocol is robust against it —
+//! PEPs retry with capped exponential backoff and fail over through a
+//! per-cloud circuit breaker, PDPs answer retransmissions from a
+//! journaled decision cache, LIs spill their backlog to the WAL while
+//! the chain is unreachable and replay on heal, and the epoch sweep is
+//! retuned to a widened group timeout across each disruption window so
+//! transient faults never surface as `MissingLog` false positives.
+//!
 //! # Event taxonomy (service graph)
 //!
 //! ```text
@@ -46,11 +57,12 @@ use drams_chain::chain::ChainConfig;
 use drams_chain::node::Node;
 use drams_chain::tx::{Transaction, TxId};
 use drams_crypto::aead::SymmetricKey;
-use drams_crypto::codec::{Decode, Reader};
+use drams_crypto::codec::{Decode, Encode, Reader};
 use drams_crypto::schnorr::Keypair;
 use drams_crypto::sha256::Digest;
-use drams_faas::des::{Outbox, ServiceRuntime, SimService, SimTime, SECONDS};
-use drams_faas::model::{CloudId, LatencyModel, TenantId, TenantSpec};
+use drams_faas::des::{Outbox, ServiceRuntime, SimService, SimTime, MILLIS, SECONDS};
+use drams_faas::fault::{FaultPlan, FaultPlane, Site};
+use drams_faas::model::{CloudId, LatencyModel, PepId, TenantId, TenantSpec};
 use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use drams_faas::pep::Pep;
 use drams_faas::prp::Prp;
@@ -102,6 +114,10 @@ pub struct RngStreams {
     pub net: StdRng,
     /// Churn timing jitter (tenant join settle time).
     pub churn: StdRng,
+    /// Retry backoff jitter. Drawn from only when a retransmission
+    /// actually happens, so fault-free runs leave the stream untouched
+    /// and stay byte-comparable with pre-fault-plane baselines.
+    pub retry: StdRng,
 }
 
 impl RngStreams {
@@ -112,9 +128,41 @@ impl RngStreams {
             workload: stream_rng(master_seed, "workload"),
             net: stream_rng(master_seed, "net"),
             churn: stream_rng(master_seed, "churn"),
+            retry: stream_rng(master_seed, "retry"),
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Robustness knobs
+// ---------------------------------------------------------------------------
+
+/// First retransmission timeout of a PEP request (well above any
+/// round-trip the latency models can produce).
+const RETRY_BASE: SimTime = 100 * MILLIS;
+/// Exponential backoff ceiling between retransmissions.
+const RETRY_CAP: SimTime = 2 * SECONDS;
+/// Delivery attempts before the PEP abandons a request for good; the
+/// schedule `100ms·2^n` capped at [`RETRY_CAP`] makes this a retry
+/// budget of roughly nine seconds — any outage shorter than that is
+/// masked, anything longer is a real, monitorable loss.
+const MAX_ATTEMPTS: u32 = 8;
+/// Worst-case wall time from a request's first send to its abandonment:
+/// the first timer is `RETRY_BASE` flat, then each retry waits
+/// `backoff + jitter` with `jitter ≤ backoff/4`, so
+/// `0.1 + 1.25·(0.2+0.4+0.8+1.6+2+2+2) ≈ 11.35s`. The drain deadline
+/// must outlive this or abandonments (and their alerts) are cut off.
+const RETRY_BUDGET: SimTime = 12 * SECONDS;
+/// Consecutive timeouts on one PDP slot before its circuit breaker
+/// opens and the PEP fails over to a healthy slot.
+const BREAKER_THRESHOLD: u32 = 3;
+/// How long an open breaker refuses traffic before letting one
+/// half-open probe through.
+const BREAKER_COOLDOWN: SimTime = SECONDS;
+/// Settling margin around a declared disruption window: retransmissions
+/// queued at the end of a window need `RETRY_CAP` plus commit latency to
+/// land, so degraded-mode timeouts stay widened this long past the heal.
+pub const FAULT_SETTLE: SimTime = 4 * SECONDS;
 
 /// The MAC key a probe obtains from its tenant TPM at provisioning time
 /// (deterministic per probe id, so the Analyser can be provisioned with
@@ -275,6 +323,13 @@ pub enum CrashTarget {
     /// The Analyser: resumes from its verification checkpoint without
     /// re-scanning the chain or re-raising alerts.
     Analyser,
+    /// A cloud's PDP (any value selects the central PDP under
+    /// [`PdpPlacement::Central`]): the engine is rebuilt from the PRP's
+    /// durable active policy and the as-sent decision cache plus any
+    /// standing silence window replay from the slot's write-ahead
+    /// journal, so a retransmission answered after the restart is
+    /// byte-identical to one answered before it.
+    Pdp(CloudId),
 }
 
 impl ScriptedAction {
@@ -312,6 +367,8 @@ pub struct ScenarioSpec {
     pub placement: PdpPlacement,
     /// Timed scenario actions.
     pub script: Vec<ScriptedAction>,
+    /// The deterministic network fault plan (empty = perfect network).
+    pub faults: FaultPlan,
 }
 
 impl ScenarioSpec {
@@ -325,6 +382,7 @@ impl ScenarioSpec {
             phases: Vec::new(),
             placement: PdpPlacement::Central,
             script: Vec::new(),
+            faults: FaultPlan::default(),
         }
     }
 }
@@ -352,7 +410,18 @@ enum Msg {
         service: String,
         request: Request,
     },
-    PepReceive(ResponseEnvelope),
+    /// A decision coming back from PDP slot `slot` (the sender matters
+    /// to the fault plane's link matching and the breaker bookkeeping).
+    PepReceive {
+        slot: usize,
+        env: ResponseEnvelope,
+    },
+    /// Retransmission timer for attempt `attempt` of an in-flight
+    /// request; a no-op when the response already arrived.
+    PepRetry {
+        correlation: CorrelationId,
+        attempt: u32,
+    },
     ProvisionPep {
         tenant: usize,
     },
@@ -365,6 +434,9 @@ enum Msg {
     SilencePdp {
         slot: usize,
         until: SimTime,
+    },
+    CrashPdp {
+        slot: usize,
     },
     // → LI service
     LiDeliver {
@@ -387,6 +459,11 @@ enum Msg {
     // → chain service
     MineTick,
     CrashChain,
+    /// Degraded-mode retune: point the epoch sweep at a new group
+    /// timeout (widened across a disruption window, restored after it).
+    SetTimeout {
+        timeout: SimTime,
+    },
     // → analyser service
     AnalyserTick,
     AnalyserPolicy(PolicySet),
@@ -414,19 +491,45 @@ const SVC_CONTROLLER: usize = 6;
 fn route(msg: &Msg) -> usize {
     match msg {
         Msg::Arrival => SVC_WORKLOAD,
-        Msg::Intercept { .. } | Msg::PepReceive(_) | Msg::ProvisionPep { .. } => SVC_PEP,
-        Msg::PdpReceive { .. } | Msg::PolicyAdmin(_) | Msg::SilencePdp { .. } => SVC_PDP,
+        Msg::Intercept { .. }
+        | Msg::PepReceive { .. }
+        | Msg::PepRetry { .. }
+        | Msg::ProvisionPep { .. } => SVC_PEP,
+        Msg::PdpReceive { .. }
+        | Msg::PolicyAdmin(_)
+        | Msg::SilencePdp { .. }
+        | Msg::CrashPdp { .. } => SVC_PDP,
         Msg::LiDeliver { .. }
         | Msg::LiFlushTick { .. }
         | Msg::StallLi { .. }
         | Msg::ProvisionLi { .. }
         | Msg::CrashLi { .. } => SVC_LI,
-        Msg::MineTick | Msg::CrashChain => SVC_CHAIN,
+        Msg::MineTick | Msg::CrashChain | Msg::SetTimeout { .. } => SVC_CHAIN,
         Msg::AnalyserTick
         | Msg::AnalyserPolicy(_)
         | Msg::ProvisionProbeKey { .. }
         | Msg::CrashAnalyser => SVC_ANALYSER,
         Msg::Script(_) | Msg::ActivateTenant { .. } => SVC_CONTROLLER,
+    }
+}
+
+/// Rebuilds a wire message for an extra (duplicated) delivery. Only the
+/// three link-crossing messages the fault plane classifies ever need it.
+fn clone_faulted(msg: &Msg) -> Msg {
+    match msg {
+        Msg::PdpReceive { slot, env } => Msg::PdpReceive {
+            slot: *slot,
+            env: env.clone(),
+        },
+        Msg::PepReceive { slot, env } => Msg::PepReceive {
+            slot: *slot,
+            env: env.clone(),
+        },
+        Msg::LiDeliver { li, entry } => Msg::LiDeliver {
+            li: *li,
+            entry: entry.clone(),
+        },
+        _ => unreachable!("only wire messages cross the fault plane"),
     }
 }
 
@@ -472,9 +575,33 @@ struct Ctx<'a> {
     pdp_slot_of_cloud: BTreeMap<u32, usize>,
     issued_at_by_corr: HashMap<CorrelationId, SimTime>,
     tx_entry_times: HashMap<TxId, Vec<SimTime>>,
+    /// The deterministic per-link fault model every wire message crosses
+    /// (a no-op with an empty plan).
+    fault_plane: FaultPlane,
+    /// PDP slot → the site it is deployed in.
+    slot_site: Vec<Site>,
+    /// LI index → the site it is deployed in.
+    li_site: Vec<Site>,
 }
 
 impl Ctx<'_> {
+    /// The site a tenant's edge (PEP and probe) lives in.
+    fn site_of_tenant(&self, tenant: TenantId) -> Site {
+        self.tenants
+            .iter()
+            .find(|t| t.spec.id == tenant)
+            .map_or(Site::Infra, |t| Site::Cloud(t.spec.cloud))
+    }
+
+    /// The site a PEP lives in (for routing responses through the fault
+    /// plane).
+    fn site_of_pep(&self, pep: PepId) -> Site {
+        self.tenants
+            .iter()
+            .find(|t| t.spec.pep == pep)
+            .map_or(Site::Infra, |t| Site::Cloud(t.spec.cloud))
+    }
+
     /// Applies the adversary's log-plane hooks and, if the entry
     /// survives, schedules its delivery to `li`.
     fn deliver_to_li(
@@ -570,6 +697,11 @@ struct WorkloadSource {
     group_timeout: SimTime,
     block_interval: SimTime,
     analyser_poll_interval: SimTime,
+    /// Earliest time the drain deadline may anchor at when a fault plan
+    /// is declared: the run must outlive the last disruption window's
+    /// settle-and-restore so widened sweeps still run (and real attacks
+    /// mounted under faults still surface). Zero without a plan.
+    fault_floor: SimTime,
 }
 
 impl WorkloadSource {
@@ -582,7 +714,14 @@ impl WorkloadSource {
     }
 
     fn drain_margin(&self) -> SimTime {
-        self.group_timeout + 6 * self.block_interval + 4 * self.analyser_poll_interval + SECONDS
+        // The retry budget comes first: the last-issued request may
+        // spend all of it before abandoning, and the sweep that turns
+        // the abandonment into `MissingLog` alerts runs after that.
+        RETRY_BUDGET
+            + self.group_timeout
+            + 6 * self.block_interval
+            + 4 * self.analyser_poll_interval
+            + SECONDS
     }
 }
 
@@ -601,7 +740,7 @@ impl<'a> SimService<Msg, Ctx<'a>> for WorkloadSource {
             } else {
                 // Nobody left and nobody coming: wind the run down
                 // instead of grinding empty ticks to the horizon.
-                out.set_deadline(now + self.drain_margin());
+                out.set_deadline(now.max(self.fault_floor) + self.drain_margin());
             }
             return;
         }
@@ -623,9 +762,69 @@ impl<'a> SimService<Msg, Ctx<'a>> for WorkloadSource {
             let arrivals = PoissonArrivals::with_rate_per_sec(self.rate_at(now));
             out.emit(arrivals.next_gap(&mut ctx.rngs.workload), Msg::Arrival);
         } else {
-            out.set_deadline(now + self.drain_margin());
+            out.set_deadline(now.max(self.fault_floor) + self.drain_margin());
         }
     }
+}
+
+/// Client-side circuit breaker for one PDP slot (kept at the PEP layer:
+/// the caller decides where to send, the callee may be unreachable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Breaker {
+    /// Healthy; `failures` consecutive timeouts so far.
+    Closed { failures: u32 },
+    /// Tripped; refuses traffic until the cooldown elapses.
+    Open { until: SimTime },
+    /// One probe request is testing the slot; its fate decides.
+    HalfOpen,
+}
+
+impl Breaker {
+    /// A response came back from the slot.
+    fn on_success(&mut self) {
+        *self = Breaker::Closed { failures: 0 };
+    }
+
+    /// An attempt to the slot timed out. Returns `true` when this
+    /// failure trips the breaker open.
+    fn on_failure(&mut self, now: SimTime) -> bool {
+        match *self {
+            Breaker::Closed { failures } if failures + 1 >= BREAKER_THRESHOLD => {
+                *self = Breaker::Open {
+                    until: now + BREAKER_COOLDOWN,
+                };
+                true
+            }
+            Breaker::Closed { failures } => {
+                *self = Breaker::Closed {
+                    failures: failures + 1,
+                };
+                false
+            }
+            Breaker::HalfOpen => {
+                // The probe failed: straight back to open.
+                *self = Breaker::Open {
+                    until: now + BREAKER_COOLDOWN,
+                };
+                false
+            }
+            Breaker::Open { .. } => false,
+        }
+    }
+}
+
+/// One in-flight (unanswered, unabandoned) PEP request.
+#[derive(Debug)]
+struct Inflight {
+    /// The envelope exactly as first sent (post any in-transit
+    /// tampering): retransmissions are byte-identical, so re-observation
+    /// digests stay idempotent.
+    env: RequestEnvelope,
+    tenant: usize,
+    /// The slot every attempt goes to, chosen once at intercept time
+    /// (retries are slot-sticky — see the `PepRetry` arm).
+    sent_slot: usize,
+    attempts: u32,
 }
 
 /// The tenant-edge PEPs and their probes.
@@ -634,6 +833,33 @@ struct PepService {
     probes: Vec<Probe>,
     bias: drams_faas::pep::EnforcementBias,
     key: SymmetricKey,
+    /// Requests awaiting a decision, with their retry state.
+    inflight: HashMap<CorrelationId, Inflight>,
+    /// One circuit breaker per PDP slot, shared by all PEPs (the
+    /// per-cloud reachability view of the tenant edge).
+    breakers: Vec<Breaker>,
+}
+
+impl PepService {
+    /// Picks the slot for a *new* interception: the home slot while its
+    /// breaker is closed (or due a half-open probe), otherwise the first
+    /// healthy other slot — the failover path. Called only at intercept
+    /// time: in-flight requests retry slot-sticky so that exactly one
+    /// PDP ever decides a correlation. With a single (central) slot this
+    /// always returns `home`.
+    fn pick_slot(breakers: &mut [Breaker], home: usize, now: SimTime) -> usize {
+        match breakers[home] {
+            Breaker::Closed { .. } => home,
+            Breaker::Open { until } if now >= until => {
+                breakers[home] = Breaker::HalfOpen;
+                home
+            }
+            _ => (1..breakers.len())
+                .map(|d| (home + d) % breakers.len())
+                .find(|&s| matches!(breakers[s], Breaker::Closed { .. }))
+                .unwrap_or(home),
+        }
+    }
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for PepService {
@@ -658,17 +884,37 @@ impl<'a> SimService<Msg, Ctx<'a>> for PepService {
                 if ctx.adversary.tamper_request_in_transit(&mut env, now) {
                     ctx.truth.tampered_requests.push(env.correlation);
                 }
-                let slot = ctx.pdp_slot_of_tenant[tenant];
+                let home = ctx.pdp_slot_of_tenant[tenant];
+                let slot = Self::pick_slot(&mut self.breakers, home, now);
+                self.inflight.insert(
+                    env.correlation,
+                    Inflight {
+                        env: env.clone(),
+                        tenant,
+                        sent_slot: slot,
+                        attempts: 1,
+                    },
+                );
+                let correlation = env.correlation;
                 let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
                 out.emit(latency, Msg::PdpReceive { slot, env });
+                out.emit(
+                    RETRY_BASE,
+                    Msg::PepRetry {
+                        correlation,
+                        attempt: 1,
+                    },
+                );
             }
-            Msg::PepReceive(env) => {
+            Msg::PepReceive { slot, env } => {
                 let Some(tenant) = self.peps.iter().position(|p| p.id() == env.pep) else {
                     return;
                 };
                 let Some(enforcement) = self.peps[tenant].enforce(&env) else {
-                    return;
+                    return; // duplicate, late-after-abandon, or forged
                 };
+                self.breakers[slot].on_success();
+                let inflight = self.inflight.remove(&env.correlation);
                 let mut granted = enforcement.granted;
                 if ctx.adversary.flip_enforcement(&mut granted, now) {
                     ctx.truth.flipped_enforcements.push(env.correlation);
@@ -681,12 +927,71 @@ impl<'a> SimService<Msg, Ctx<'a>> for PepService {
                 }
                 if let Some(issued) = ctx.issued_at_by_corr.get(&env.correlation) {
                     ctx.report.e2e_latency.record(now - issued);
+                    if inflight.is_some() && slot != ctx.pdp_slot_of_tenant[tenant] {
+                        // Answered by a slot the breaker diverted to.
+                        ctx.report.failovers += 1;
+                        ctx.report.failover_e2e.record(now - issued);
+                    }
+                }
+                if let Some(inf) = &inflight {
+                    ctx.report.e2e_latency.record_attempts(inf.attempts);
                 }
                 if ctx.monitoring {
                     let entry = self.probes[tenant].observe_pep_response(&env, granted, now);
                     let li = ctx.li_of_tenant[tenant];
                     ctx.deliver_to_li(out, li, entry, now);
                 }
+            }
+            Msg::PepRetry {
+                correlation,
+                attempt,
+            } => {
+                let Some(inf) = self.inflight.get(&correlation) else {
+                    return; // answered (or abandoned) in the meantime
+                };
+                if inf.attempts != attempt {
+                    return; // stale timer of an earlier attempt
+                }
+                // This attempt timed out: charge the slot it went to.
+                let (tenant, failed_slot, attempts) = (inf.tenant, inf.sent_slot, inf.attempts);
+                if self.breakers[failed_slot].on_failure(now) {
+                    ctx.report.breaker_trips += 1;
+                }
+                if attempts >= MAX_ATTEMPTS {
+                    // Deadline budget exhausted: give up for good. A
+                    // response limping in later is treated as stale.
+                    self.inflight.remove(&correlation);
+                    self.peps[tenant].abandon(correlation);
+                    ctx.report.requests_dropped += 1;
+                    return;
+                }
+                // Retries are slot-sticky: an in-flight correlation is
+                // never replayed against a different PDP, so exactly one
+                // authority ever decides it and the contract's
+                // one-observation-per-point keying stays collision-free.
+                // The breaker steers *new* interceptions away instead.
+                let slot = failed_slot;
+                let inf = self
+                    .inflight
+                    .get_mut(&correlation)
+                    .expect("checked above; no removal in between");
+                inf.attempts += 1;
+                let env = inf.env.clone();
+                let attempt = inf.attempts;
+                ctx.report.retries_total += 1;
+                // Capped exponential backoff with deterministic jitter
+                // (its own stream: fault-free runs never draw from it).
+                let backoff = (RETRY_BASE << (attempt - 1)).min(RETRY_CAP);
+                let jitter = ctx.rngs.retry.gen_range(0..=backoff / 4);
+                let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
+                out.emit(latency, Msg::PdpReceive { slot, env });
+                out.emit(
+                    backoff + jitter,
+                    Msg::PepRetry {
+                        correlation,
+                        attempt,
+                    },
+                );
             }
             Msg::ProvisionPep { tenant } => {
                 let spec = &ctx.tenants[tenant].spec;
@@ -708,7 +1013,85 @@ impl<'a> SimService<Msg, Ctx<'a>> for PepService {
 struct PdpSlot {
     pdp: drams_policy::pdp::Pdp,
     probe: Probe,
+    probe_id: ProbeId,
     silenced_until: SimTime,
+    /// As-sent responses by correlation: a retransmitted or duplicated
+    /// request is answered byte-identically (re-deciding would stamp a
+    /// new `decided_at`, change the response digest and trip the
+    /// Analyser's conflicting-observation check), without re-observing
+    /// or re-running adversary hooks.
+    decided: HashMap<CorrelationId, ResponseEnvelope>,
+    /// Write-ahead journal of the decision cache and any standing
+    /// silence window, so a crashed PDP restarts idempotent.
+    journal: Wal,
+}
+
+/// PDP journal record: a cached as-sent decision.
+const PDP_JOURNAL_DECIDED: u8 = 1;
+/// PDP journal record: a standing silence window.
+const PDP_JOURNAL_SILENCE: u8 = 2;
+
+impl PdpSlot {
+    fn new(probe_id: ProbeId, key: &SymmetricKey, pdp: drams_policy::pdp::Pdp) -> Self {
+        let journal = Wal::open(
+            Box::new(MemBackend::new()),
+            WalConfig {
+                segment_records: 64,
+                durability: Durability::Flushed,
+            },
+        )
+        .expect("fresh in-memory wal");
+        PdpSlot {
+            pdp,
+            probe: Probe::new(probe_id, key.clone(), probe_mac_key(probe_id)),
+            probe_id,
+            silenced_until: 0,
+            decided: HashMap::new(),
+            journal,
+        }
+    }
+
+    fn journal_decision(&mut self, env: &ResponseEnvelope) {
+        let mut rec = vec![PDP_JOURNAL_DECIDED];
+        rec.extend_from_slice(&env.correlation.0.to_be_bytes());
+        rec.extend_from_slice(&env.to_canonical_bytes());
+        self.journal.append(&rec).expect("pdp journal append");
+    }
+
+    fn journal_silence(&mut self, until: SimTime) {
+        let mut rec = vec![PDP_JOURNAL_SILENCE];
+        rec.extend_from_slice(&until.to_be_bytes());
+        self.journal.append(&rec).expect("pdp journal append");
+    }
+
+    /// Kills the slot's process state and rebuilds it: the engine from
+    /// the PRP's durable active policy, the decision cache and silence
+    /// window from the journal, the probe from its TPM-provisioned key.
+    fn crash_restart(&mut self, key: &SymmetricKey, active: drams_policy::pdp::Pdp) {
+        self.journal.simulate_crash().expect("pdp journal recovery");
+        self.pdp = active;
+        self.probe = Probe::new(self.probe_id, key.clone(), probe_mac_key(self.probe_id));
+        self.silenced_until = 0;
+        self.decided.clear();
+        for (_, rec) in self.journal.replay().expect("pdp journal replay") {
+            match rec.split_first() {
+                Some((&PDP_JOURNAL_DECIDED, rest)) if rest.len() > 8 => {
+                    let mut corr = [0u8; 8];
+                    corr.copy_from_slice(&rest[..8]);
+                    let env = ResponseEnvelope::from_canonical_bytes(&rest[8..])
+                        .expect("journaled response decodes");
+                    self.decided
+                        .insert(CorrelationId(u64::from_be_bytes(corr)), env);
+                }
+                Some((&PDP_JOURNAL_SILENCE, rest)) if rest.len() == 8 => {
+                    let mut until = [0u8; 8];
+                    until.copy_from_slice(rest);
+                    self.silenced_until = SimTime::from_be_bytes(until);
+                }
+                _ => unreachable!("unknown pdp journal record"),
+            }
+        }
+    }
 }
 
 /// The decision plane: the PRP (version store) plus the deployed PDPs.
@@ -716,6 +1099,7 @@ struct PdpService {
     prp: Prp,
     slots: Vec<PdpSlot>,
     infra_li: usize,
+    key: SymmetricKey,
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
@@ -725,8 +1109,24 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
                 let s = &mut self.slots[slot];
                 if now < s.silenced_until {
                     // Fault window: a silent PDP neither observes nor
-                    // answers; the group will time out on-chain.
-                    ctx.report.requests_dropped += 1;
+                    // answers — the PEP's retry budget decides whether
+                    // the request survives the outage.
+                    return;
+                }
+                if let Some(cached) = s.decided.get(&env.correlation) {
+                    // Retransmission (or fault-plane duplicate) of an
+                    // answered request: resend the as-sent response
+                    // byte-identically. No re-observation, no adversary
+                    // hooks — the originals already ran.
+                    let resp_env = cached.clone();
+                    let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
+                    out.emit(
+                        latency,
+                        Msg::PepReceive {
+                            slot,
+                            env: resp_env,
+                        },
+                    );
                     return;
                 }
                 if ctx.monitoring {
@@ -753,8 +1153,16 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
                 if ctx.adversary.tamper_response_in_transit(&mut resp_env, now) {
                     ctx.truth.tampered_responses.push(resp_env.correlation);
                 }
+                s.decided.insert(env.correlation, resp_env.clone());
+                s.journal_decision(&resp_env);
                 let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
-                out.emit(latency, Msg::PepReceive(resp_env));
+                out.emit(
+                    latency,
+                    Msg::PepReceive {
+                        slot,
+                        env: resp_env,
+                    },
+                );
             }
             Msg::PolicyAdmin(action) => {
                 match action {
@@ -783,6 +1191,12 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
             }
             Msg::SilencePdp { slot, until } => {
                 self.slots[slot].silenced_until = until;
+                self.slots[slot].journal_silence(until);
+            }
+            Msg::CrashPdp { slot } => {
+                let active = self.prp.active().pdp();
+                self.slots[slot].crash_restart(&self.key, active);
+                ctx.report.crash_restarts += 1;
             }
             _ => unreachable!("misrouted event"),
         }
@@ -795,6 +1209,8 @@ struct LiService {
     pending: Vec<Vec<SimTime>>,
     backlog: Vec<Vec<LogEntry>>,
     stalled_until: Vec<SimTime>,
+    /// When the LI last lost its chain link (for recovery latency).
+    offline_since: Vec<SimTime>,
     flush_interval: SimTime,
     batch_size: usize,
     key: SymmetricKey,
@@ -827,6 +1243,28 @@ impl LiService {
         self.pending.push(Vec::new());
         self.backlog.push(Vec::new());
         self.stalled_until.push(0);
+        self.offline_since.push(0);
+    }
+
+    /// Reconciles the LI's offline flag with the fault plane's current
+    /// partition state of its chain link. Going offline starts the spill
+    /// clock; coming back counts the spilled backlog as replayed and
+    /// records the outage length (the next flush tick drains it).
+    fn sync_chain_link(&mut self, li: usize, now: SimTime, ctx: &mut Ctx<'_>) {
+        let site = ctx.li_site[li];
+        let cut = site != Site::Infra && ctx.fault_plane.partitioned(now, site, Site::Infra);
+        let was = self.lis[li].is_offline();
+        if cut && !was {
+            self.lis[li].set_offline(true);
+            self.offline_since[li] = now;
+        } else if !cut && was {
+            self.lis[li].set_offline(false);
+            let backlog = self.lis[li].buffered_entries().len() as u64;
+            ctx.report.li_replayed += backlog;
+            ctx.report
+                .spill_recovery
+                .record(now - self.offline_since[li]);
+        }
     }
 
     fn store(&mut self, li: usize, entry: LogEntry, ctx: &mut Ctx<'_>) {
@@ -834,6 +1272,9 @@ impl LiService {
         let ids = self.lis[li]
             .store(entry, &mut ctx.node)
             .expect("li submission");
+        if self.lis[li].is_offline() {
+            ctx.report.li_spilled += 1;
+        }
         assign_tx_times(&mut self.pending[li], &ids, &mut ctx.tx_entry_times);
         ctx.report.max_mempool = ctx.report.max_mempool.max(ctx.node.mempool_len());
     }
@@ -854,10 +1295,12 @@ impl<'a> SimService<Msg, Ctx<'a>> for LiService {
                     self.backlog[li].push(entry);
                     return;
                 }
+                self.sync_chain_link(li, now, ctx);
                 self.drain_backlog(li, ctx);
                 self.store(li, entry, ctx);
             }
             Msg::LiFlushTick { li } => {
+                self.sync_chain_link(li, now, ctx);
                 if now >= self.stalled_until[li] {
                     self.drain_backlog(li, ctx);
                     let ids = self.lis[li].flush(&mut ctx.node).expect("li flush");
@@ -924,6 +1367,22 @@ struct ChainService {
 
 impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
     fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
+        if let Msg::SetTimeout { timeout } = msg {
+            // Degraded mode: retune the epoch sweep's group timeout
+            // on-chain (widened across a disruption window so transient
+            // faults don't masquerade as withheld logs, restored after
+            // the settle). Commits with the next mined block.
+            ctx.node
+                .submit_call(
+                    &self.admin,
+                    MONITOR_CONTRACT,
+                    "set_timeout",
+                    MonitorContract::set_timeout_payload(timeout),
+                )
+                .expect("set_timeout submission");
+            ctx.report.timeout_retunes += 1;
+            return;
+        }
         if matches!(msg, Msg::CrashChain) {
             // The node process dies: chain, contract state and mempool
             // are gone; the write-ahead journal survives. Replaying it
@@ -1099,6 +1558,8 @@ impl<'a> SimService<Msg, Ctx<'a>> for Controller {
                     let li = tenant + 1;
                     debug_assert!(li > self.infra_li);
                     ctx.li_of_tenant.push(li);
+                    debug_assert_eq!(ctx.li_site.len(), li);
+                    ctx.li_site.push(Site::Cloud(cloud));
                     let slot = self.pdp_slot_for(ctx, cloud);
                     ctx.pdp_slot_of_tenant.push(slot);
                     out.emit(0, Msg::ProvisionPep { tenant });
@@ -1153,6 +1614,10 @@ impl<'a> SimService<Msg, Ctx<'a>> for Controller {
                             ctx.li_of_tenant[idx]
                         };
                         out.emit(0, Msg::CrashLi { li });
+                    }
+                    CrashTarget::Pdp(cloud) => {
+                        let slot = self.pdp_slot_for(ctx, cloud);
+                        out.emit(0, Msg::CrashPdp { slot });
                     }
                 },
                 ScriptedAction::ForkChain { depth, .. } => {
@@ -1287,6 +1752,25 @@ impl<'a> SimService<Msg, Ctx<'a>> for Controller {
 // Assembly
 // ---------------------------------------------------------------------------
 
+/// The degraded-mode schedule for a fault plan: one
+/// `(widen_at, restore_at, widened_timeout)` triple per merged
+/// disruption window. Widening starts a full base timeout plus settle
+/// *before* the window so no group already in flight can be swept under
+/// the old timeout while its evidence is stuck behind the fault, and the
+/// widened value keeps every such group alive until a settle past the
+/// heal. Windows are merged with a `base + 2·settle` bridge so
+/// consecutive widen/restore pairs never interleave.
+fn degraded_windows(plan: &FaultPlan, base_timeout: SimTime) -> Vec<(SimTime, SimTime, SimTime)> {
+    plan.disruption_windows(base_timeout + 2 * FAULT_SETTLE)
+        .into_iter()
+        .map(|(from, until)| {
+            let widen_at = from.saturating_sub(base_timeout + FAULT_SETTLE);
+            let restore_at = until + FAULT_SETTLE;
+            (widen_at, restore_at, (restore_at - widen_at) + base_timeout)
+        })
+        .collect()
+}
+
 /// Runs one scenario end to end.
 ///
 /// # Panics
@@ -1331,15 +1815,13 @@ pub fn run_scenario<A: Adversary>(
     let mut probe_mac_keys: BTreeMap<ProbeId, [u8; 32]> = BTreeMap::new();
     let mut pdp_slot_of_cloud: BTreeMap<u32, usize> = BTreeMap::new();
     let mut slots: Vec<PdpSlot> = Vec::new();
+    let mut slot_site: Vec<Site> = Vec::new();
     match spec.placement {
         PdpPlacement::Central => {
             let probe_id = ProbeId(0);
             probe_mac_keys.insert(probe_id, probe_mac_key(probe_id));
-            slots.push(PdpSlot {
-                pdp: prp.active().pdp(),
-                probe: Probe::new(probe_id, key.clone(), probe_mac_key(probe_id)),
-                silenced_until: 0,
-            });
+            slots.push(PdpSlot::new(probe_id, &key, prp.active().pdp()));
+            slot_site.push(Site::Infra);
             for t in &config.federation.tenants {
                 pdp_slot_of_cloud.entry(t.cloud.0).or_insert(0);
             }
@@ -1355,14 +1837,12 @@ pub fn run_scenario<A: Adversary>(
                 let probe_id = ProbeId(PDP_PROBE_BASE + cloud);
                 probe_mac_keys.insert(probe_id, probe_mac_key(probe_id));
                 pdp_slot_of_cloud.insert(cloud, slots.len());
-                slots.push(PdpSlot {
-                    pdp: prp.active().pdp(),
-                    probe: Probe::new(probe_id, key.clone(), probe_mac_key(probe_id)),
-                    silenced_until: 0,
-                });
+                slots.push(PdpSlot::new(probe_id, &key, prp.active().pdp()));
+                slot_site.push(Site::Cloud(CloudId(cloud)));
             }
         }
     }
+    let slot_count = slots.len();
 
     // --- monitoring plane -------------------------------------------------
     let pep_probes: Vec<Probe> = (0..tenant_count)
@@ -1380,6 +1860,7 @@ pub fn run_scenario<A: Adversary>(
         pending: Vec::new(),
         backlog: Vec::new(),
         stalled_until: Vec::new(),
+        offline_since: Vec::new(),
         flush_interval: config.li_flush_interval,
         batch_size: config.li_batch_size,
         key: key.clone(),
@@ -1479,9 +1960,31 @@ pub fn run_scenario<A: Adversary>(
         pdp_slot_of_cloud,
         issued_at_by_corr: HashMap::new(),
         tx_entry_times: HashMap::new(),
+        fault_plane: FaultPlane::new(spec.faults.clone(), stream_rng(config.seed, "faults")),
+        slot_site,
+        // LIs sit at [tenants 0..n, infra at n]; a tenant-less config
+        // still provisions LI 0, which then shares the infra site.
+        li_site: (0..tenant_count)
+            .map(|i| {
+                config
+                    .federation
+                    .tenants
+                    .get(i)
+                    .map_or(Site::Infra, |t| Site::Cloud(t.cloud))
+            })
+            .chain(std::iter::once(Site::Infra))
+            .collect(),
     };
 
     // --- services ----------------------------------------------------------
+    // Degraded-mode schedule: while a disruption window is near, the
+    // epoch sweep runs with a widened group timeout (monitoring off =
+    // nothing to retune).
+    let degraded = if config.monitoring_enabled {
+        degraded_windows(&spec.faults, config.group_timeout)
+    } else {
+        Vec::new()
+    };
     let mut rt: ServiceRuntime<Msg, Ctx<'_>> = ServiceRuntime::new(route);
     let registered = rt.register(Box::new(WorkloadSource {
         total_requests: config.total_requests,
@@ -1499,6 +2002,11 @@ pub fn run_scenario<A: Adversary>(
         group_timeout: config.group_timeout,
         block_interval: config.block_interval,
         analyser_poll_interval: config.analyser_poll_interval,
+        fault_floor: degraded
+            .iter()
+            .map(|&(_, restore_at, _)| restore_at)
+            .max()
+            .unwrap_or(0),
     }));
     debug_assert_eq!(registered, SVC_WORKLOAD);
     rt.register(Box::new(PepService {
@@ -1506,11 +2014,14 @@ pub fn run_scenario<A: Adversary>(
         probes: pep_probes,
         bias: config.bias,
         key: key.clone(),
+        inflight: HashMap::new(),
+        breakers: vec![Breaker::Closed { failures: 0 }; slot_count],
     }));
     rt.register(Box::new(PdpService {
         prp,
         slots,
         infra_li,
+        key: key.clone(),
     }));
     rt.register(Box::new(li_service));
     rt.register(Box::new(ChainService {
@@ -1530,6 +2041,43 @@ pub fn run_scenario<A: Adversary>(
         placement: spec.placement,
         infra_li,
     }));
+
+    // --- fault plane -------------------------------------------------------
+    // With a declared plan, every wire message (request, response, log
+    // delivery) crosses the fault plane on its way into the event queue.
+    // Initial schedules below bypass it by design — they are bootstrap
+    // bookkeeping, not link traffic. An empty plan installs no shim, so
+    // canonical runs take the exact pre-fault-plane path.
+    if !spec.faults.is_empty() {
+        rt.set_net_shim(Box::new(|ctx: &mut Ctx<'_>, now, delay, msg, buf| {
+            let class = match &msg {
+                Msg::PdpReceive { slot, env } => {
+                    Some((ctx.site_of_tenant(env.tenant), ctx.slot_site[*slot], true))
+                }
+                Msg::PepReceive { slot, env } => {
+                    Some((ctx.slot_site[*slot], ctx.site_of_pep(env.pep), true))
+                }
+                // Probe→LI links are intra-site and carry evidence: the
+                // fault plane may delay, duplicate or reorder them but
+                // never silently destroy them — evidence loss must stay
+                // an adversary capability, not a network artefact.
+                Msg::LiDeliver { li, .. } => Some((ctx.li_site[*li], ctx.li_site[*li], false)),
+                _ => None,
+            };
+            let Some((from, to, allow_drop)) = class else {
+                buf.push((delay, msg));
+                return;
+            };
+            let fates = ctx.fault_plane.deliveries(now, from, to, allow_drop);
+            let Some((last, rest)) = fates.split_last() else {
+                return; // dropped (or partitioned away)
+            };
+            for extra in rest {
+                buf.push((delay + extra, clone_faulted(&msg)));
+            }
+            buf.push((delay + last, msg));
+        }));
+    }
 
     // --- initial events ----------------------------------------------------
     let arrivals = PoissonArrivals::with_rate_per_sec(
@@ -1551,10 +2099,20 @@ pub fn run_scenario<A: Adversary>(
     for (i, action) in spec.script.iter().enumerate() {
         rt.schedule_at(action.at(), Msg::Script(i));
     }
+    for &(widen_at, restore_at, widened) in &degraded {
+        rt.schedule_at(widen_at, Msg::SetTimeout { timeout: widened });
+        rt.schedule_at(
+            restore_at,
+            Msg::SetTimeout {
+                timeout: config.group_timeout,
+            },
+        );
+    }
 
     // --- run ---------------------------------------------------------------
     let finished_at = rt.run(&mut ctx, config.horizon);
     ctx.report.finished_at = finished_at;
+    ctx.report.faults = ctx.fault_plane.stats();
     (ctx.report, ctx.truth)
 }
 
@@ -1756,13 +2314,47 @@ mod tests {
     }
 
     #[test]
-    fn silent_pdp_drops_requests_and_times_out() {
+    fn short_pdp_silence_is_masked_by_retries() {
+        // A sub-second outage sits well inside the PEP's retry budget:
+        // every request completes on a retransmission and nothing alerts.
         let mut config = base_config();
         config.total_requests = 60;
         let spec = ScenarioSpec {
             script: vec![ScriptedAction::SilencePdp {
                 at: 0,
-                until: 100 * MILLIS,
+                until: 150 * MILLIS,
+                cloud: CloudId(0),
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0);
+        assert_eq!(report.requests_completed, 60);
+        assert_eq!(report.requests_dropped, 0);
+        assert!(report.retries_total > 0, "the outage must cost retries");
+        assert_eq!(report.e2e_latency.report().retries, report.retries_total);
+        assert!(
+            report.e2e_latency.report().attempts[1] > 0,
+            "some requests must have completed on their second attempt"
+        );
+        assert!(
+            report.alerts.is_empty(),
+            "a retried-through fault must not alert: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn persistent_pdp_silence_abandons_requests_and_times_out() {
+        // An outage longer than the whole retry budget: the PEP gives up
+        // after MAX_ATTEMPTS and the on-chain sweep surfaces the stuck
+        // groups as MissingLog.
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            script: vec![ScriptedAction::SilencePdp {
+                at: 0,
+                until: 60 * SECONDS,
                 cloud: CloudId(0),
             }],
             ..ScenarioSpec::canonical(&config)
@@ -1772,8 +2364,10 @@ mod tests {
         assert_eq!(
             report.requests_completed + report.requests_dropped,
             60,
-            "every request either completes or was swallowed by the fault"
+            "every request either completes or is abandoned after its budget"
         );
+        assert!(report.retries_total > 0);
+        assert!(!report.alerts.is_empty());
         assert!(report
             .alerts
             .iter()
@@ -1903,6 +2497,7 @@ mod tests {
             CrashTarget::Li(TenantId(1)),
             CrashTarget::Li(TenantId::INFRASTRUCTURE),
             CrashTarget::Analyser,
+            CrashTarget::Pdp(CloudId(0)),
         ] {
             let spec = ScenarioSpec {
                 script: vec![ScriptedAction::CrashRestart {
@@ -1997,6 +2592,220 @@ mod tests {
         assert_eq!(report.groups_completed, 80, "no group may be lost");
         assert_eq!(report.entries_logged, 320);
         assert!(report.alerts.is_empty(), "alerts: {:?}", report.alerts);
+    }
+
+    #[test]
+    fn lossy_link_is_masked_by_retries_without_false_alerts() {
+        // A 20%-drop window across every link: retransmissions push all
+        // requests through, the sweep runs widened across the window,
+        // and an honest run stays alert-free.
+        use drams_faas::fault::LinkFault;
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            faults: FaultPlan {
+                links: vec![LinkFault {
+                    drop_permille: 200,
+                    active_from: 0,
+                    active_until: 2 * SECONDS,
+                    ..LinkFault::default()
+                }],
+                partitions: Vec::new(),
+            },
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0);
+        assert_eq!(report.requests_completed, 60, "retries mask the loss");
+        assert_eq!(report.requests_dropped, 0);
+        assert!(report.faults.dropped > 0, "the plan must actually bite");
+        assert!(report.retries_total > 0);
+        assert_eq!(report.timeout_retunes, 2, "one widen + one restore");
+        assert_eq!(report.groups_completed, 60);
+        assert!(
+            report.alerts.is_empty(),
+            "faults are not attacks: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn partition_spills_li_backlog_and_replays_on_heal() {
+        // Cloud 0 loses the infrastructure for a second: its PEPs retry
+        // their way through, its LIs spill to the WAL and replay on
+        // heal; nothing is lost, nothing alerts.
+        use drams_faas::fault::PartitionWindow;
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            faults: FaultPlan {
+                links: Vec::new(),
+                partitions: vec![PartitionWindow {
+                    a: Site::Cloud(CloudId(0)),
+                    b: Site::Infra,
+                    from: 200 * MILLIS,
+                    until: 1200 * MILLIS,
+                }],
+            },
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0);
+        assert_eq!(report.requests_completed, 60);
+        assert!(report.faults.partition_blocked > 0);
+        assert!(report.li_spilled > 0, "cloud-0 LIs must have spilled");
+        assert!(report.li_replayed > 0, "the spill must replay on heal");
+        assert!(report.spill_recovery.report().count > 0);
+        assert_eq!(report.groups_completed, 60, "no observation may be lost");
+        assert!(
+            report.alerts.is_empty(),
+            "a healed partition must not alert: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn pdp_outage_fails_over_to_a_healthy_cloud() {
+        // Per-cloud placement: cloud 0's PDP goes dark, the breaker
+        // trips after three timeouts and *new* interceptions complete on
+        // cloud 1's PDP instead; the few in-flight stragglers retry
+        // slot-sticky and land once the outage (shorter than the group
+        // timeout) ends, so nothing alerts.
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            placement: PdpPlacement::PerCloud,
+            script: vec![ScriptedAction::SilencePdp {
+                at: 0,
+                until: 1500 * MILLIS,
+                cloud: CloudId(0),
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0);
+        assert_eq!(report.requests_completed, 60, "failover serves them all");
+        assert_eq!(report.requests_dropped, 0);
+        assert!(report.breaker_trips > 0, "the breaker must have tripped");
+        assert!(report.failovers > 0, "requests must have failed over");
+        assert!(report.failover_e2e.report().count > 0);
+        assert_eq!(report.failover_e2e.report().count as u64, report.failovers);
+        assert!(
+            report.alerts.is_empty(),
+            "failover keeps the pipeline observable: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn pdp_crash_under_duplicating_faults_stays_twin_identical() {
+        // The journaled decision cache is what makes a crashed PDP
+        // idempotent: under a duplicating/reordering fault plan, the
+        // crashed run must match the uninterrupted one byte for byte
+        // (a lost cache would re-decide a retransmission, stamp a new
+        // `decided_at` and trip the digest cross-check).
+        use drams_crypto::codec::Encode;
+        use drams_faas::fault::LinkFault;
+        let mut config = base_config();
+        config.total_requests = 60;
+        let faults = FaultPlan {
+            links: vec![LinkFault {
+                duplicate_permille: 300,
+                reorder_permille: 200,
+                reorder_spread: 5 * MILLIS,
+                active_from: 0,
+                active_until: 1500 * MILLIS,
+                ..LinkFault::default()
+            }],
+            partitions: Vec::new(),
+        };
+        let clean_spec = ScenarioSpec {
+            faults: faults.clone(),
+            ..ScenarioSpec::canonical(&config)
+        };
+        let crashed_spec = ScenarioSpec {
+            script: vec![ScriptedAction::CrashRestart {
+                at: 250 * MILLIS,
+                target: CrashTarget::Pdp(CloudId(0)),
+            }],
+            ..clean_spec.clone()
+        };
+        let (clean, clean_truth) = run_scenario(&clean_spec, &mut NoAdversary);
+        let (crashed, crashed_truth) = run_scenario(&crashed_spec, &mut NoAdversary);
+        assert!(clean.faults.duplicated > 0, "the plan must actually bite");
+        assert_eq!(crashed.crash_restarts, 1);
+        assert_eq!(clean_truth, crashed_truth);
+        assert_eq!(clean.requests_completed, crashed.requests_completed);
+        assert_eq!(clean.entries_logged, crashed.entries_logged);
+        assert_eq!(clean.groups_completed, crashed.groups_completed);
+        assert_eq!(clean.txs_committed, crashed.txs_committed);
+        assert_eq!(clean.finished_at, crashed.finished_at);
+        let a: Vec<Vec<u8>> = clean
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        let b: Vec<Vec<u8>> = crashed
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        assert_eq!(a, b, "recovery must lose and repeat nothing");
+    }
+
+    #[test]
+    fn attacks_are_still_detected_under_faults() {
+        // The robustness bar from the threat matrix: a log-dropping
+        // adversary mounted *during* a lossy window must still be
+        // detected once the degraded-mode timeout restores.
+        use drams_faas::fault::LinkFault;
+        let mut config = base_config();
+        config.total_requests = 60;
+        let spec = ScenarioSpec {
+            faults: FaultPlan {
+                links: vec![LinkFault {
+                    drop_permille: 150,
+                    active_from: 0,
+                    active_until: 1500 * MILLIS,
+                    ..LinkFault::default()
+                }],
+                partitions: Vec::new(),
+            },
+            ..ScenarioSpec::canonical(&config)
+        };
+        struct EveryNthLogDropper {
+            seen: u64,
+        }
+        impl crate::adversary::Adversary for EveryNthLogDropper {
+            fn drop_log(&mut self, _entry: &crate::logent::LogEntry, now: SimTime) -> bool {
+                if now >= 1500 * MILLIS {
+                    return false; // attack only inside the fault window
+                }
+                self.seen += 1;
+                self.seen % 9 == 0
+            }
+        }
+        let mut adversary = EveryNthLogDropper { seen: 0 };
+        let (report, truth) = run_scenario(&spec, &mut adversary);
+        assert!(!truth.dropped_logs.is_empty(), "the attack must have fired");
+        for (corr, point) in &truth.dropped_logs {
+            assert!(
+                report.alerts.iter().any(|a| {
+                    a.correlation == *corr
+                        && matches!(&a.kind,
+                            crate::alert::AlertKind::MissingLog { point: p } if p == point)
+                }),
+                "dropped ({corr:?}, {point:?}) must alert even under faults"
+            );
+        }
+        let truly_attacked: std::collections::HashSet<_> =
+            truth.dropped_logs.iter().map(|(c, _)| *c).collect();
+        for a in &report.alerts {
+            assert!(
+                truly_attacked.contains(&a.correlation),
+                "no fault-induced false positive allowed: {a:?}"
+            );
+        }
     }
 
     #[test]

@@ -188,6 +188,14 @@ pub trait SimService<M, C> {
     fn handle(&mut self, now: SimTime, msg: M, ctx: &mut C, out: &mut Outbox<M>);
 }
 
+/// A network shim interposed between every service emission and the
+/// event queue. It receives the shared context, the current virtual
+/// time, the emission's `(delay, msg)` pair, and a sink; it pushes zero
+/// or more `(delay, msg)` deliveries into the sink (zero = dropped, two
+/// = duplicated, altered delays = network delay/reorder). The fault
+/// plane plugs in here — see [`crate::fault`].
+pub type NetShim<M, C> = Box<dyn FnMut(&mut C, SimTime, SimTime, M, &mut Vec<(SimTime, M)>)>;
+
 /// Owns a set of [`SimService`]s and a routing function, and drives them
 /// from one deterministic [`EventQueue`].
 ///
@@ -200,6 +208,8 @@ pub struct ServiceRuntime<M, C> {
     services: Vec<Box<dyn SimService<M, C>>>,
     router: fn(&M) -> usize,
     deadline: Option<SimTime>,
+    net_shim: Option<NetShim<M, C>>,
+    shim_buf: Vec<(SimTime, M)>,
 }
 
 impl<M, C> std::fmt::Debug for ServiceRuntime<M, C> {
@@ -208,6 +218,7 @@ impl<M, C> std::fmt::Debug for ServiceRuntime<M, C> {
             .field("services", &self.services.len())
             .field("pending", &self.queue.len())
             .field("deadline", &self.deadline)
+            .field("net_shim", &self.net_shim.is_some())
             .finish()
     }
 }
@@ -221,7 +232,17 @@ impl<M, C> ServiceRuntime<M, C> {
             services: Vec::new(),
             router,
             deadline: None,
+            net_shim: None,
+            shim_buf: Vec::new(),
         }
+    }
+
+    /// Installs a [`NetShim`] through which every *service-emitted*
+    /// message passes before being scheduled. Initial events injected via
+    /// [`schedule`](Self::schedule)/[`schedule_at`](Self::schedule_at)
+    /// bypass the shim (they model local bootstrap, not network traffic).
+    pub fn set_net_shim(&mut self, shim: NetShim<M, C>) {
+        self.net_shim = Some(shim);
     }
 
     /// Registers a service, returning the index the router must use to
@@ -269,14 +290,31 @@ impl<M, C> ServiceRuntime<M, C> {
             let mut out = Outbox::new(self.deadline);
             self.services[target].handle(now, msg, ctx, &mut out);
             self.deadline = out.deadline;
-            for (delay, msg) in out.emitted {
-                self.queue.schedule(delay, msg);
+            match self.net_shim.as_mut() {
+                Some(shim) => {
+                    for (delay, msg) in out.emitted {
+                        shim(ctx, now, delay, msg, &mut self.shim_buf);
+                    }
+                    for (delay, msg) in self.shim_buf.drain(..) {
+                        self.queue.schedule(delay, msg);
+                    }
+                }
+                None => {
+                    for (delay, msg) in out.emitted {
+                        self.queue.schedule(delay, msg);
+                    }
+                }
             }
             finished_at = now;
         }
         finished_at
     }
 }
+
+/// Number of buckets in the delivery-attempt histogram: bucket `i`
+/// counts messages that needed `i + 1` delivery attempts; the last
+/// bucket aggregates everything at or beyond `ATTEMPT_BUCKETS`.
+pub const ATTEMPT_BUCKETS: usize = 8;
 
 /// Immutable summary of a latency series, for services and reports that
 /// log several percentiles without needing `&mut` access.
@@ -294,6 +332,11 @@ pub struct StatsReport {
     pub p99: SimTime,
     /// Largest sample.
     pub max: SimTime,
+    /// Total retries (delivery attempts beyond the first) across all
+    /// messages whose attempt counts were recorded.
+    pub retries: u64,
+    /// Delivery-attempt histogram; see [`ATTEMPT_BUCKETS`].
+    pub attempts: [u64; ATTEMPT_BUCKETS],
 }
 
 /// Online mean/percentile accumulator for latency series.
@@ -305,6 +348,8 @@ pub struct StatsReport {
 pub struct LatencyStats {
     samples: RefCell<Vec<SimTime>>,
     sorted: Cell<bool>,
+    retries: u64,
+    attempts: [u64; ATTEMPT_BUCKETS],
 }
 
 impl LatencyStats {
@@ -318,6 +363,28 @@ impl LatencyStats {
     pub fn record(&mut self, sample: SimTime) {
         self.samples.get_mut().push(sample);
         self.sorted.set(false);
+    }
+
+    /// Records how many delivery attempts one message needed (1 = no
+    /// retry). Feeds the retry total and attempt histogram in
+    /// [`StatsReport`], alongside — but independent of — the latency
+    /// samples.
+    pub fn record_attempts(&mut self, attempts: u32) {
+        let attempts = attempts.max(1);
+        self.retries += u64::from(attempts - 1);
+        self.attempts[(attempts as usize - 1).min(ATTEMPT_BUCKETS - 1)] += 1;
+    }
+
+    /// Total retries recorded via [`record_attempts`](Self::record_attempts).
+    #[must_use]
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// The delivery-attempt histogram; see [`ATTEMPT_BUCKETS`].
+    #[must_use]
+    pub fn attempts_histogram(&self) -> [u64; ATTEMPT_BUCKETS] {
+        self.attempts
     }
 
     /// Number of samples.
@@ -380,6 +447,8 @@ impl LatencyStats {
             p95: self.percentile(95.0),
             p99: self.percentile(99.0),
             max: self.max(),
+            retries: self.retries,
+            attempts: self.attempts,
         }
     }
 }
@@ -658,6 +727,66 @@ mod tests {
         // the one at 30 pops past the deadline and the run stops.
         rt.run(&mut ctx, 1_000);
         assert_eq!(ctx, ["1", "2"]);
+    }
+
+    #[test]
+    fn record_attempts_builds_retry_totals_and_histogram() {
+        let mut s = LatencyStats::new();
+        s.record_attempts(1); // no retry
+        s.record_attempts(1);
+        s.record_attempts(3); // two retries
+        s.record_attempts(20); // clamps into the last bucket
+        assert_eq!(s.retries(), 0 + 0 + 2 + 19);
+        let hist = s.attempts_histogram();
+        assert_eq!(hist[0], 2);
+        assert_eq!(hist[2], 1);
+        assert_eq!(hist[ATTEMPT_BUCKETS - 1], 1);
+        let r = s.report();
+        assert_eq!(r.retries, 21);
+        assert_eq!(r.attempts, hist);
+        // Attempt counts are independent of latency samples.
+        assert_eq!(r.count, 0);
+    }
+
+    #[test]
+    fn net_shim_can_drop_duplicate_and_delay_emissions() {
+        // Pinger emits Ping(n); the shim drops Ping(2), duplicates
+        // Ping(1) and delays Ping(3) by 100. Initial schedule() calls
+        // bypass the shim entirely.
+        struct Echo;
+        impl SimService<Msg, Vec<String>> for Echo {
+            fn handle(
+                &mut self,
+                now: SimTime,
+                m: Msg,
+                ctx: &mut Vec<String>,
+                out: &mut Outbox<Msg>,
+            ) {
+                match m {
+                    Msg::Pong(n) => out.emit(10, Msg::Ping(n)),
+                    Msg::Ping(n) => ctx.push(format!("{n}@{now}")),
+                }
+            }
+        }
+        let mut rt: ServiceRuntime<Msg, Vec<String>> = ServiceRuntime::new(|_| 0);
+        rt.register(Box::new(Echo));
+        rt.set_net_shim(Box::new(|_ctx, _now, delay, msg, sink| match msg {
+            Msg::Ping(1) => {
+                sink.push((delay, Msg::Ping(1)));
+                sink.push((delay, Msg::Ping(1)));
+            }
+            Msg::Ping(2) => {}
+            Msg::Ping(3) => sink.push((delay + 100, Msg::Ping(3))),
+            other => sink.push((delay, other)),
+        }));
+        // A Ping injected directly must NOT pass through the shim.
+        rt.schedule(0, Msg::Ping(2));
+        rt.schedule(0, Msg::Pong(1));
+        rt.schedule(0, Msg::Pong(2));
+        rt.schedule(0, Msg::Pong(3));
+        let mut ctx = Vec::new();
+        rt.run(&mut ctx, 1_000);
+        assert_eq!(ctx, ["2@0", "1@10", "1@10", "3@110"]);
     }
 
     #[test]

@@ -14,10 +14,14 @@
 //! * [`prp`] — the versioned Policy Retrieval Point.
 //! * [`des`] — a deterministic virtual-time discrete-event engine; all
 //!   latency experiments run on it.
+//! * [`fault`] — a deterministic per-link network fault plane (drop,
+//!   duplicate, reorder, delay, timed partitions) the runtime's net shim
+//!   applies between services.
 //! * [`workload`] — Poisson arrivals, Zipf popularity, request and policy
 //!   generators shared by experiments and property tests.
 
 pub mod des;
+pub mod fault;
 pub mod model;
 pub mod msg;
 pub mod pep;
@@ -28,6 +32,7 @@ pub use des::{
     EventQueue, LatencyStats, Outbox, ServiceRuntime, SimService, SimTime, StatsReport, MICRO,
     MILLIS, SECONDS,
 };
+pub use fault::{FaultPlan, FaultPlane, FaultStats, LinkFault, PartitionWindow, Site};
 pub use model::{CloudId, FederationSpec, LatencyModel, PepId, TenantId, TenantSpec};
 pub use msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 pub use pep::{Enforcement, EnforcementBias, Pep};

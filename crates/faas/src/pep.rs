@@ -120,6 +120,14 @@ impl Pep {
         Some(Enforcement { decision, granted })
     }
 
+    /// Abandons a pending request whose deadline budget is exhausted
+    /// (the PDP stayed unreachable through every retry). Returns `true`
+    /// when the correlation was actually pending; a response arriving
+    /// after abandonment is treated as stale by [`enforce`](Self::enforce).
+    pub fn abandon(&mut self, correlation: CorrelationId) -> bool {
+        self.pending.remove(&correlation).is_some()
+    }
+
     /// Requests forwarded but not yet answered.
     #[must_use]
     pub fn pending_count(&self) -> usize {
@@ -207,5 +215,17 @@ mod tests {
         let real = respond(&env, ExtDecision::Permit);
         assert!(p.enforce(&real).is_some());
         assert!(p.enforce(&real).is_none());
+    }
+
+    #[test]
+    fn abandoned_requests_reject_late_responses() {
+        let mut p = pep(EnforcementBias::DenyBiased);
+        let env = p.intercept("svc", Request::new(), 0);
+        assert!(p.abandon(env.correlation));
+        assert!(!p.abandon(env.correlation), "second abandon is a no-op");
+        assert_eq!(p.pending_count(), 0);
+        // The response finally limps in after the give-up: stale.
+        assert!(p.enforce(&respond(&env, ExtDecision::Permit)).is_none());
+        assert_eq!(p.counters(), (0, 0));
     }
 }

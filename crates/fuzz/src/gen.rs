@@ -14,6 +14,7 @@ use drams_core::logent::LogEntry;
 use drams_core::monitor::MonitorConfig;
 use drams_core::scenario::{CrashTarget, PdpPlacement, Phase, ScenarioSpec, ScriptedAction};
 use drams_faas::des::{SimTime, MILLIS};
+use drams_faas::fault::{FaultPlan, LinkFault, PartitionWindow, Site};
 use drams_faas::model::{CloudId, FederationSpec, TenantId};
 use drams_faas::msg::{RequestEnvelope, ResponseEnvelope};
 use drams_policy::attr::{AttributeId, Category};
@@ -28,9 +29,10 @@ use rand::{Rng, SeedableRng};
 
 /// Seeds below this value enumerate every attack family deterministically
 /// (4 chain attacks, 9 campaign threats, honest, honest+crash,
-/// campaign+crash); any seed budget containing `0..COVERAGE_PRELUDE`
-/// covers the whole threat matrix.
-pub const COVERAGE_PRELUDE: u64 = 16;
+/// campaign+crash, honest+faults, campaign+crash+faults); any seed
+/// budget containing `0..COVERAGE_PRELUDE` covers the whole threat
+/// matrix, with and without a network fault plan underneath.
+pub const COVERAGE_PRELUDE: u64 = 18;
 
 /// The Byzantine chain-node attack families (script-injected, as opposed
 /// to the hook-injected [`ThreatKind`] campaigns).
@@ -239,6 +241,12 @@ impl FuzzCase {
             .iter()
             .any(|a| matches!(a, ScriptedAction::CrashRestart { .. }))
     }
+
+    /// Whether a network fault plan runs underneath the scenario.
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        !self.spec.faults.is_empty()
+    }
 }
 
 /// The stricter policy the generator publishes mid-run (only doctors,
@@ -261,11 +269,20 @@ pub fn strict_policy() -> PolicySet {
         .build()
 }
 
-/// The scenario classes the generator draws from.
+/// The scenario classes the generator draws from. `faults` layers a
+/// bounded network fault plan underneath (honest runs must mask it
+/// without alerting; campaigns must still be detected through it).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Class {
-    Honest { crash: bool },
-    Campaign { kind: ThreatKind, crash: bool },
+    Honest {
+        crash: bool,
+        faults: bool,
+    },
+    Campaign {
+        kind: ThreatKind,
+        crash: bool,
+        faults: bool,
+    },
     Chain(ChainAttackKind),
 }
 
@@ -351,30 +368,47 @@ pub fn generate(seed: u64) -> FuzzCase {
     }
 
     // --- class-specific content --------------------------------------------
+    let mut faults = FaultPlan::default();
     let plan = match class {
-        Class::Honest { crash } => {
+        Class::Honest {
+            crash,
+            faults: with_faults,
+        } => {
             if crash {
-                script.push(crash_action(&mut rng));
+                script.push(crash_action(&mut rng, clouds, None));
+            }
+            if with_faults {
+                faults = fault_plan(&mut rng, clouds);
             }
             AttackPlan::Honest
         }
-        Class::Campaign { kind, crash } => {
-            if crash {
-                script.push(crash_action(&mut rng));
-            }
+        Class::Campaign {
+            kind,
+            crash,
+            faults: with_faults,
+        } => {
             // The policy swap happens at deployment time, so its window
             // must cover virtual time 0 to fire at all.
-            let from = if kind == ThreatKind::SwapPolicy {
+            let from_ms = if kind == ThreatKind::SwapPolicy {
                 0
             } else {
-                ms(rng.gen_range(50..400))
+                rng.gen_range(50u64..400)
             };
-            let until = from + ms(rng.gen_range(600..1500));
+            let until_ms = from_ms + rng.gen_range(600u64..1500);
+            if crash {
+                // The crash lands *inside* the active attack window: the
+                // hardest spot for the twin oracle, since recovery has to
+                // preserve mid-campaign state byte for byte.
+                script.push(crash_action(&mut rng, clouds, Some((from_ms, until_ms))));
+            }
+            if with_faults {
+                faults = fault_plan(&mut rng, clouds);
+            }
             AttackPlan::Campaign {
                 kind,
                 permille: rng.gen_range(80..=250),
-                from,
-                until,
+                from: ms(from_ms),
+                until: ms(until_ms),
                 adversary_seed: rng.gen_range(0..u64::MAX),
             }
         }
@@ -405,11 +439,21 @@ pub fn generate(seed: u64) -> FuzzCase {
     // Put the class into the seed's name so shrunk reproductions and
     // trajectory tables stay self-describing.
     let label = match class {
-        Class::Honest { crash: false } => "honest".to_string(),
-        Class::Honest { crash: true } => "honest_crash".to_string(),
-        Class::Campaign { kind, crash } => {
-            format!("{}{}", kind.name(), if crash { "_crash" } else { "" })
-        }
+        Class::Honest { crash, faults } => format!(
+            "honest{}{}",
+            if crash { "_crash" } else { "" },
+            if faults { "_faults" } else { "" }
+        ),
+        Class::Campaign {
+            kind,
+            crash,
+            faults,
+        } => format!(
+            "{}{}{}",
+            kind.name(),
+            if crash { "_crash" } else { "" },
+            if faults { "_faults" } else { "" }
+        ),
         Class::Chain(kind) => kind.name().to_string(),
     };
     config.horizon = 600 * drams_faas::des::SECONDS;
@@ -421,6 +465,7 @@ pub fn generate(seed: u64) -> FuzzCase {
             phases,
             placement,
             script,
+            faults,
         },
         plan,
     }
@@ -429,19 +474,38 @@ pub fn generate(seed: u64) -> FuzzCase {
 /// The deterministic coverage prelude: seeds `0..=3` mount the four
 /// chain-attack families, `4..=12` the nine campaign threats, `13` is
 /// honest, `14` honest with a chain-node crash, `15` a drop-log campaign
-/// with an LI crash.
+/// with a crash inside its attack window, `16` honest over a network
+/// fault plan, `17` a tamper-request campaign with both a fault plan
+/// underneath and a crash inside the attack window.
 fn directed_class(seed: u64) -> Class {
     match seed {
         0..=3 => Class::Chain(ChainAttackKind::ALL[seed as usize]),
         4..=12 => Class::Campaign {
             kind: ThreatKind::ALL[(seed - 4) as usize],
             crash: false,
+            faults: false,
         },
-        13 => Class::Honest { crash: false },
-        14 => Class::Honest { crash: true },
-        _ => Class::Campaign {
+        13 => Class::Honest {
+            crash: false,
+            faults: false,
+        },
+        14 => Class::Honest {
+            crash: true,
+            faults: false,
+        },
+        15 => Class::Campaign {
             kind: ThreatKind::DropLog,
             crash: true,
+            faults: false,
+        },
+        16 => Class::Honest {
+            crash: false,
+            faults: true,
+        },
+        _ => Class::Campaign {
+            kind: ThreatKind::TamperRequest,
+            crash: true,
+            faults: true,
         },
     }
 }
@@ -450,10 +514,12 @@ fn random_class(rng: &mut StdRng) -> Class {
     match rng.gen_range(0..10u32) {
         0..=2 => Class::Honest {
             crash: rng.gen_bool(0.4),
+            faults: rng.gen_bool(0.35),
         },
         3..=7 => Class::Campaign {
             kind: ThreatKind::ALL[rng.gen_range(0..ThreatKind::ALL.len())],
             crash: rng.gen_bool(0.25),
+            faults: rng.gen_bool(0.3),
         },
         _ => Class::Chain(ChainAttackKind::ALL[rng.gen_range(0..ChainAttackKind::ALL.len())]),
     }
@@ -463,17 +529,65 @@ fn random_class(rng: &mut StdRng) -> Class {
 /// scenarios never call this ([`random_class`] keeps the classes
 /// disjoint): a forked or withheld-from node's journal interplay with
 /// replay is covered by dedicated tests, not left to chance labelling.
-fn crash_action(rng: &mut StdRng) -> ScriptedAction {
-    let target = match rng.gen_range(0..4u32) {
+/// With `window`, the crash point lands strictly inside the campaign's
+/// `[from, until)` attack window (both in milliseconds).
+fn crash_action(rng: &mut StdRng, clouds: u32, window: Option<(u64, u64)>) -> ScriptedAction {
+    let target = match rng.gen_range(0..5u32) {
         0 => CrashTarget::ChainNode,
         1 => CrashTarget::Li(TenantId(1)),
         2 => CrashTarget::Li(TenantId::INFRASTRUCTURE),
+        3 => CrashTarget::Pdp(CloudId(rng.gen_range(0..clouds))),
         _ => CrashTarget::Analyser,
     };
+    let at_ms = match window {
+        Some((from, until)) => rng.gen_range(from + 1..until),
+        None => rng.gen_range(300..800),
+    };
     ScriptedAction::CrashRestart {
-        at: ms(rng.gen_range(300..800)),
+        at: ms(at_ms),
         target,
     }
+}
+
+/// A bounded network fault plan. Every knob is capped so the PEP retry
+/// budget provably masks it: fault windows end by 2.5s and partitions
+/// heal within 3.3s, while retransmissions keep coming for ~9s after
+/// the last (≤ ~2s) arrival — so an honest run never abandons a request
+/// and the oracle may demand zero alerts. Real attacks layered on top
+/// must still be detected through the noise.
+fn fault_plan(rng: &mut StdRng, clouds: u32) -> FaultPlan {
+    let mut links = Vec::new();
+    for _ in 0..rng.gen_range(1..=2u32) {
+        let from_ms = rng.gen_range(0u64..800);
+        links.push(LinkFault {
+            // Mostly wildcard links; sometimes only one cloud's uplink.
+            from: if rng.gen_bool(0.3) {
+                Some(Site::Cloud(CloudId(rng.gen_range(0..clouds))))
+            } else {
+                None
+            },
+            to: None,
+            drop_permille: rng.gen_range(0..=250),
+            duplicate_permille: rng.gen_range(0..=200),
+            reorder_permille: rng.gen_range(0..=200),
+            reorder_spread: ms(rng.gen_range(1..=10)),
+            delay: ms(rng.gen_range(0..=20)),
+            jitter: ms(rng.gen_range(0..=10)),
+            active_from: ms(from_ms),
+            active_until: ms(from_ms + rng.gen_range(400u64..=1700)),
+        });
+    }
+    let mut partitions = Vec::new();
+    if rng.gen_bool(0.4) {
+        let from_ms = rng.gen_range(100u64..800);
+        partitions.push(PartitionWindow {
+            a: Site::Cloud(CloudId(rng.gen_range(0..clouds))),
+            b: Site::Infra,
+            from: ms(from_ms),
+            until: ms(from_ms + rng.gen_range(500u64..=2500)),
+        });
+    }
+    FaultPlan { links, partitions }
 }
 
 #[cfg(test)]
@@ -524,6 +638,65 @@ mod tests {
             let mut sorted = times.clone();
             sorted.sort_unstable();
             assert_eq!(times, sorted, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prelude_includes_fault_plan_cases() {
+        let faulted: Vec<u64> = (0..COVERAGE_PRELUDE)
+            .filter(|&s| generate(s).has_faults())
+            .collect();
+        assert!(
+            faulted.len() >= 2,
+            "prelude must cross the fault plane with honest and attacked runs"
+        );
+        // Seed 17 is the hardest cross: campaign + crash inside the
+        // attack window + a fault plan underneath.
+        let hard = generate(17);
+        assert!(hard.has_faults() && hard.has_crash());
+        assert!(hard.plan.campaign_kind().is_some());
+    }
+
+    #[test]
+    fn campaign_crashes_land_inside_the_attack_window() {
+        let mut checked = 0;
+        for seed in 0..512 {
+            let case = generate(seed);
+            let (Some(_), true) = (case.plan.campaign_kind(), case.has_crash()) else {
+                continue;
+            };
+            let AttackPlan::Campaign { from, until, .. } = case.plan else {
+                unreachable!()
+            };
+            for action in &case.spec.script {
+                if let ScriptedAction::CrashRestart { at, .. } = action {
+                    assert!(
+                        *at > from && *at < until,
+                        "seed {seed}: crash at {at} outside attack window [{from}, {until})"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked >= 10, "too few campaign+crash cases ({checked})");
+    }
+
+    #[test]
+    fn generated_fault_plans_are_bounded_by_the_retry_budget() {
+        // The honest-runs-stay-silent oracle clause is only sound if no
+        // generated fault plan can outlast the PEP retry budget: windows
+        // must close early enough that retransmissions still land.
+        for seed in 0..512 {
+            let case = generate(seed);
+            for l in &case.spec.faults.links {
+                assert!(l.drop_permille <= 250, "seed {seed}");
+                assert!(l.active_until <= 2500 * MILLIS, "seed {seed}");
+                assert!(l.delay + l.jitter <= 30 * MILLIS, "seed {seed}");
+            }
+            for p in &case.spec.faults.partitions {
+                assert!(p.until - p.from <= 2500 * MILLIS, "seed {seed}");
+                assert!(p.until <= 3300 * MILLIS, "seed {seed}");
+            }
         }
     }
 

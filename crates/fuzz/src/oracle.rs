@@ -65,6 +65,7 @@ pub fn strip_crashes(spec: &ScenarioSpec) -> ScenarioSpec {
             .filter(|a| !matches!(a, ScriptedAction::CrashRestart { .. }))
             .cloned()
             .collect(),
+        faults: spec.faults.clone(),
     }
 }
 

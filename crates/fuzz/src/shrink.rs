@@ -3,7 +3,8 @@
 //!
 //! [`shrink`] is a greedy fixpoint loop: it repeatedly tries removing
 //! one scenario ingredient at a time (a script action, a workload
-//! phase, the attack campaign, half the request volume) and keeps any
+//! phase, the fault plan or one of its links/partitions, the attack
+//! campaign, half the request volume) and keeps any
 //! removal under which the supplied predicate still fails. The result
 //! is a case where every remaining ingredient is load-bearing — drop
 //! any one and the violation disappears.
@@ -57,6 +58,41 @@ pub fn shrink<F: Fn(&FuzzCase) -> bool>(case: &FuzzCase, still_fails: F) -> Fuzz
         }
         if improved {
             continue;
+        }
+
+        // Try dropping the network fault plan (and then each of its
+        // links / partitions individually).
+        if !best.spec.faults.is_empty() {
+            let mut candidate = best.clone();
+            candidate.spec.faults = Default::default();
+            if still_fails(&candidate) {
+                best = candidate;
+                continue;
+            }
+            for i in 0..best.spec.faults.links.len() {
+                let mut candidate = best.clone();
+                candidate.spec.faults.links.remove(i);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                continue;
+            }
+            for i in 0..best.spec.faults.partitions.len() {
+                let mut candidate = best.clone();
+                candidate.spec.faults.partitions.remove(i);
+                if still_fails(&candidate) {
+                    best = candidate;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                continue;
+            }
         }
 
         // Try disarming the campaign entirely.
@@ -116,6 +152,7 @@ fn render_action(action: &ScriptedAction) -> String {
             let target = match target {
                 CrashTarget::ChainNode => "CrashTarget::ChainNode".to_string(),
                 CrashTarget::Li(t) => format!("CrashTarget::Li(TenantId({}))", t.0),
+                CrashTarget::Pdp(c) => format!("CrashTarget::Pdp(CloudId({}))", c.0),
                 CrashTarget::Analyser => "CrashTarget::Analyser".to_string(),
             };
             format!("ScriptedAction::CrashRestart {{ at: {at}, target: {target} }}")
@@ -133,6 +170,20 @@ fn render_action(action: &ScriptedAction) -> String {
             format!("ScriptedAction::WithholdTx {{ at: {at} }}")
         }
     }
+}
+
+fn render_site(site: drams_faas::fault::Site) -> String {
+    match site {
+        drams_faas::fault::Site::Cloud(c) => format!("Site::Cloud(CloudId({}))", c.0),
+        drams_faas::fault::Site::Infra => "Site::Infra".to_string(),
+    }
+}
+
+fn render_site_opt(site: Option<drams_faas::fault::Site>) -> String {
+    site.map_or_else(
+        || "None".to_string(),
+        |s| format!("Some({})", render_site(s)),
+    )
 }
 
 fn render_plan(plan: &AttackPlan) -> String {
@@ -175,6 +226,12 @@ pub fn render_rust(case: &FuzzCase) -> String {
         "use drams_faas::model::{{CloudId, FederationSpec, TenantId}};"
     );
     let _ = writeln!(out, "use drams_fuzz::AttackPlan;");
+    if !spec.faults.is_empty() {
+        let _ = writeln!(
+            out,
+            "use drams_faas::fault::{{FaultPlan, LinkFault, PartitionWindow, Site}};"
+        );
+    }
     let _ = writeln!(out);
     let _ = writeln!(out, "let config = MonitorConfig {{");
     let _ = writeln!(
@@ -215,6 +272,44 @@ pub fn render_rust(case: &FuzzCase) -> String {
             let _ = writeln!(out, "        {},", render_action(action));
         }
         let _ = writeln!(out, "    ],");
+    }
+    if spec.faults.is_empty() {
+        let _ = writeln!(out, "    faults: Default::default(),");
+    } else {
+        let _ = writeln!(out, "    faults: FaultPlan {{");
+        let _ = writeln!(out, "        links: vec![");
+        for l in &spec.faults.links {
+            let _ = writeln!(
+                out,
+                "            LinkFault {{ from: {}, to: {}, drop_permille: {}, \
+                 duplicate_permille: {}, reorder_permille: {}, reorder_spread: {}, \
+                 delay: {}, jitter: {}, active_from: {}, active_until: {} }},",
+                render_site_opt(l.from),
+                render_site_opt(l.to),
+                l.drop_permille,
+                l.duplicate_permille,
+                l.reorder_permille,
+                l.reorder_spread,
+                l.delay,
+                l.jitter,
+                l.active_from,
+                l.active_until
+            );
+        }
+        let _ = writeln!(out, "        ],");
+        let _ = writeln!(out, "        partitions: vec![");
+        for p in &spec.faults.partitions {
+            let _ = writeln!(
+                out,
+                "            PartitionWindow {{ a: {}, b: {}, from: {}, until: {} }},",
+                render_site(p.a),
+                render_site(p.b),
+                p.from,
+                p.until
+            );
+        }
+        let _ = writeln!(out, "        ],");
+        let _ = writeln!(out, "    }},");
     }
     let _ = writeln!(out, "}};");
     let _ = writeln!(out, "let plan = {};", render_plan(&case.plan));
@@ -261,6 +356,25 @@ mod tests {
         assert!(minimal.spec.script.is_empty());
         assert!(minimal.spec.phases.is_empty());
         assert_eq!(minimal.plan, AttackPlan::Honest);
+    }
+
+    #[test]
+    fn shrinking_strips_a_non_load_bearing_fault_plan() {
+        let case = generate(16); // honest over a fault plan
+        assert!(case.has_faults(), "seed 16 must carry a fault plan");
+        let never = |_: &FuzzCase| true;
+        let minimal = shrink(&case, never);
+        assert!(minimal.spec.faults.is_empty());
+    }
+
+    #[test]
+    fn rendered_reproduction_includes_the_fault_plan() {
+        let case = generate(17); // campaign + crash-in-window + faults
+        assert!(case.has_faults() && case.has_crash());
+        let rust = render_rust(&case);
+        assert!(rust.contains("faults: FaultPlan {"));
+        assert!(rust.contains("LinkFault {"));
+        assert!(rust.contains("CrashTarget::"));
     }
 
     #[test]
