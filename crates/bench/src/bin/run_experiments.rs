@@ -1,7 +1,7 @@
 //! Regenerates every experiment table of the DRAMS reproduction
 //! (EXPERIMENTS.md / DESIGN.md §3).
 //!
-//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e13|all] [--quick] [--scenario <name>]`
+//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e14|all] [--quick] [--scenario <name>]`
 //!
 //! Run with `--release`: E1/E2 perform real proof-of-work hashing.
 //!
@@ -26,7 +26,14 @@
 //! that must stay fully detected under those faults, and a PDP crash
 //! under duplicating faults that must stay byte-identical to its
 //! uninterrupted twin; any false positive, missed detection, abandoned
-//! request or twin divergence fails the run).
+//! request or twin divergence fails the run), and `e14` writes the
+//! overload trajectory to `BENCH_LOAD.json` (a ≥100k-request
+//! Zipf-skewed flash crowd with admission control and every
+//! bounded-state cap armed: shed/degraded counters, eviction and
+//! retirement counters, and peak tracked-state gauges per component;
+//! a false alert under honest overload, a missed detection while
+//! shedding, a crash-twin divergence, or any peak column more than
+//! doubling against the committed file fails the run).
 //! `--quick` shrinks the sweeps to CI-smoke size — the JSON records
 //! which mode produced it.
 
@@ -35,6 +42,7 @@ use drams_bench::crypto_trajectory::{self, CryptoSummary, OldNew};
 use drams_bench::e2e_trajectory::{self, ScenarioRow};
 use drams_bench::fault_trajectory::{self, DetectionRow, FaultRow, FaultSummary, TwinCheck};
 use drams_bench::fuzz_trajectory::{self, FuzzSummary};
+use drams_bench::load_trajectory::{self, LoadRow, LoadSummary, PEAK_COLUMNS};
 use drams_bench::log_entry_of_size;
 use drams_bench::scenarios;
 use drams_bench::store_trajectory::{self, EngineRow, RecoveryRow};
@@ -110,6 +118,7 @@ fn main() {
     let e11_results = want("e11").then(|| e11_storage_and_recovery(quick));
     let e12_summary = want("e12").then(|| e12_adversarial_fuzz(quick));
     let e13_summary = want("e13").then(|| e13_fault_plane(quick));
+    let e14_summary = want("e14").then(|| e14_overload(quick));
 
     // The tracked perf trajectory: whenever E5 and/or E6 ran, rewrite
     // BENCH_PDP.json at the repo root so the diff shows what moved. A
@@ -264,6 +273,85 @@ fn main() {
             if !summary.twin.matched {
                 eprintln!(
                     "crash-under-faults diverged from the uninterrupted run: {}",
+                    summary.twin.scenario
+                );
+            }
+            std::process::exit(1);
+        }
+    }
+    // The overload trajectory: written *before* the verdict is
+    // enforced, so a capacity regression (a false alert under honest
+    // overload, unshed overflow, a missed detection while shedding, a
+    // twin divergence, or a peak-state column more than doubling
+    // against the committed file) lands in the diff rather than
+    // vanishing in a panic — the non-zero exit still fails the run.
+    if let Some(summary) = e14_summary {
+        let path = load_trajectory::repo_path();
+        let previous = std::fs::read_to_string(&path).ok();
+        // Peak-state regression gate: compare against the committed
+        // honest row when it was produced in the same mode.
+        let mut regressions = Vec::new();
+        if let Some((prev_quick, prev_peaks)) = previous
+            .as_deref()
+            .and_then(load_trajectory::parse_honest_peaks)
+        {
+            if prev_quick == quick {
+                for ((key, prev), fresh) in PEAK_COLUMNS
+                    .iter()
+                    .zip(prev_peaks)
+                    .zip(summary.honest.peaks)
+                {
+                    if prev > 0 && fresh > 2 * prev {
+                        regressions.push(format!("{key}: {prev} -> {fresh}"));
+                    }
+                }
+            }
+        }
+        let json = load_trajectory::render_json(quick, Some(&summary), previous.as_deref());
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote overload trajectory to {}", path.display()),
+            Err(e) => {
+                eprintln!("\nfailed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        if !regressions.is_empty() {
+            eprintln!("\npeak tracked state more than doubled vs the committed trajectory:");
+            for r in &regressions {
+                eprintln!("  {r}");
+            }
+            std::process::exit(1);
+        }
+        if !summary.clean() {
+            if summary.honest.alerts > 0 {
+                eprintln!(
+                    "false alerts under honest overload in {}: {}",
+                    summary.honest.scenario, summary.honest.alerts
+                );
+            }
+            if summary.honest.shed == 0 {
+                eprintln!("the flash crowd never overran the admission cap");
+            }
+            if summary.honest.completed != summary.honest.requests - summary.honest.shed {
+                eprintln!(
+                    "admitted requests went missing in {}: {} issued, {} shed, {} completed",
+                    summary.honest.scenario,
+                    summary.honest.requests,
+                    summary.honest.shed,
+                    summary.honest.completed
+                );
+            }
+            for d in &summary.detection {
+                if d.detected < d.attacks || d.false_positives > 0 || d.attacks == 0 {
+                    eprintln!(
+                        "detection under overload degraded for {}: {}/{} detected, {} fp",
+                        d.threat, d.detected, d.attacks, d.false_positives
+                    );
+                }
+            }
+            if !summary.twin.matched {
+                eprintln!(
+                    "crash-under-overload diverged from the uninterrupted run: {}",
                     summary.twin.scenario
                 );
             }
@@ -1432,6 +1520,163 @@ fn e13_fault_plane(quick: bool) -> FaultSummary {
     println!("windows — transient faults never alert, real attacks always do.");
     FaultSummary {
         rows,
+        detection,
+        twin,
+    }
+}
+
+/// E14 — overload robustness: a Zipf-skewed flash crowd over a
+/// 2000-tenant population, with every bounded-state mechanism armed.
+///
+/// Part 1 runs the ≥100k-request honest flash crowd: the admission cap
+/// must shed the overflow (never silently queue it), every admitted
+/// request must complete, not a single alert may fire, and every peak
+/// tracked-state gauge is recorded. Part 2 mounts attack campaigns
+/// *during* the flash crowd: every mounted attack must still be
+/// detected with zero false positives while shedding is active (shed
+/// requests carry no evidence, so overflow can never masquerade as an
+/// attack or hide one). Part 3 crashes a PDP mid-spike and requires
+/// byte-identity with the uninterrupted twin. Emits `BENCH_LOAD.json`.
+fn e14_overload(quick: bool) -> LoadSummary {
+    use drams_core::scenario::run_scenario;
+
+    header(
+        "E14",
+        "overload robustness: flash crowds, shedding, bounded peak state",
+    );
+
+    // -- part 1: the honest flash crowd ------------------------------------
+    let spec = scenarios::flash_crowd(quick);
+    let wall = Instant::now();
+    let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+    let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+    assert_eq!(truth.total_attacks(), 0, "overload is not an attack");
+    let peaks = [
+        report.peak.pep_inflight,
+        report.peak.pdp_idempotency,
+        report.peak.pdp_decision_cache,
+        report.peak.li_resident,
+        report.peak.analyser_pending_retire,
+        report.peak.contract_storage,
+        report.peak.chain_journal_records,
+    ];
+    let honest = LoadRow {
+        scenario: spec.name.clone(),
+        requests: report.requests_issued,
+        completed: report.requests_completed,
+        shed: report.requests_shed,
+        degraded: report.degraded_admissions,
+        admitted_completion_pct: 100.0 * report.requests_completed as f64
+            / (report.requests_issued - report.requests_shed).max(1) as f64,
+        alerts: report.alerts.len() as u64,
+        idempotency_evictions: report.idempotency_evictions,
+        decision_cache_evictions: report.decision_cache_evictions,
+        groups_retired: report.groups_retired,
+        journal_compactions: report.journal_compactions,
+        peaks,
+        wall_ms,
+    };
+    println!(
+        "{:<18} {:>9} {:>9} {:>8} {:>9} {:>7} {:>9}",
+        "scenario", "requests", "complete", "shed", "degraded", "alerts", "wall ms"
+    );
+    println!(
+        "{:<18} {:>9} {:>9} {:>8} {:>9} {:>7} {:>9.0}",
+        honest.scenario,
+        honest.requests,
+        honest.completed,
+        honest.shed,
+        honest.degraded,
+        honest.alerts,
+        honest.wall_ms
+    );
+    println!("\n-- peak tracked state (honest flash crowd) --");
+    for (key, value) in PEAK_COLUMNS.iter().zip(peaks) {
+        println!("{key:<28} {value:>10}");
+    }
+    println!(
+        "{:<28} {:>10}   (evictions: idempotency {}, decision-cache {};",
+        "bounded-state counters", "", honest.idempotency_evictions, honest.decision_cache_evictions
+    );
+    println!(
+        "{:<28} {:>10}    groups retired {}, journal compactions {})",
+        "", "", honest.groups_retired, honest.journal_compactions
+    );
+
+    // -- part 2: attack campaigns inside the flash crowd -------------------
+    println!("\n-- detection under overload (campaigns inside the spike window) --");
+    println!(
+        "{:<18} {:>8} {:>9} {:>5} {:>8}",
+        "threat", "attacks", "detected", "fp", "shed"
+    );
+    let mut detection = Vec::new();
+    for (threat, seed) in [
+        (ThreatKind::DropLog, 41u64),
+        (ThreatKind::TamperRequest, 42),
+        (ThreatKind::FlipEnforcement, 43),
+    ] {
+        let mut spec = scenarios::overload_attack_base(quick);
+        spec.name = format!("{threat}_under_overload");
+        let inner = ScriptedAdversary::new(threat, 0.05, seed);
+        let mut adversary = WindowedAdversary::new(
+            inner,
+            vec![FaultWindow::new(2 * SECONDS, 6 * SECONDS)], // the spike
+        );
+        let (report, truth) = run_scenario(&spec, &mut adversary);
+        let s = score(threat, &report, &truth);
+        let row = load_trajectory::DetectionRow {
+            threat: threat.to_string(),
+            attacks: s.attacks as u64,
+            detected: s.detected as u64,
+            false_positives: s.false_positives as u64,
+            shed: report.requests_shed,
+        };
+        println!(
+            "{:<18} {:>8} {:>9} {:>5} {:>8}",
+            row.threat, row.attacks, row.detected, row.false_positives, row.shed
+        );
+        detection.push(row);
+    }
+
+    // -- part 3: a PDP crash mid-spike vs its twin -------------------------
+    let crash_spec = scenarios::overload_crash(quick);
+    let twin_spec = scenarios::strip_crashes(&crash_spec);
+    let (clean, clean_truth) = run_scenario(&twin_spec, &mut NoAdversary);
+    let (crashed, crashed_truth) = run_scenario(&crash_spec, &mut NoAdversary);
+    let clean_alerts: Vec<Vec<u8>> = clean
+        .alerts
+        .iter()
+        .map(Encode::to_canonical_bytes)
+        .collect();
+    let crashed_alerts: Vec<Vec<u8>> = crashed
+        .alerts
+        .iter()
+        .map(Encode::to_canonical_bytes)
+        .collect();
+    let twin = load_trajectory::TwinCheck {
+        scenario: crash_spec.name.clone(),
+        crash_restarts: crashed.crash_restarts,
+        shed: crashed.requests_shed,
+        matched: clean_truth == crashed_truth
+            && clean_alerts == crashed_alerts
+            && clean.requests_completed == crashed.requests_completed
+            && clean.entries_logged == crashed.entries_logged
+            && clean.groups_completed == crashed.groups_completed
+            && clean.txs_committed == crashed.txs_committed
+            && clean.finished_at == crashed.finished_at,
+    };
+    println!(
+        "\ncrash mid-spike: {} crash-restart(s), {} shed, twin matched: {}",
+        twin.crash_restarts, twin.shed, twin.matched
+    );
+
+    println!("\nshape: admission control sheds overflow before interception (no");
+    println!("group opens, no evidence is fabricated or lost), LRU and retention");
+    println!("caps bound every cache, closed groups retire from contract storage,");
+    println!("and the chain journal compacts — peak state stays flat while the");
+    println!("flash crowd runs, honest overload never alerts, attacks always do.");
+    LoadSummary {
+        honest,
         detection,
         twin,
     }

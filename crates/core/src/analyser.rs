@@ -29,7 +29,12 @@ use drams_policy::decision::Decision;
 use drams_policy::parser::{parse_policy_set, to_source};
 use drams_policy::policy::PolicySet;
 use drams_store::{SnapshotStore, StoreError};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Most correlations retired per poll — bounds the `retire_groups`
+/// transaction payload regardless of how deep the retirement backlog
+/// gets during a flash crowd.
+const RETIRE_BATCH_MAX: usize = 512;
 
 /// One recorded policy-administration action, kept so a verification
 /// checkpoint can replay the authorised-version history exactly.
@@ -43,7 +48,9 @@ enum PolicyLogEntry {
 
 /// Version byte of the checkpoint encoding. Version 2 added the fork
 /// sweep: its enable flag and the set of already-alerted fork points.
-const CHECKPOINT_VERSION: u8 = 2;
+/// Version 3 added windowed group retirement: the lag, the retired
+/// counter and the pending-retirement queue.
+const CHECKPOINT_VERSION: u8 = 3;
 
 /// The DRAMS Analyser.
 pub struct Analyser {
@@ -76,6 +83,14 @@ pub struct Analyser {
     /// [`Analyser::recover`] resumes a restarted Analyser without
     /// re-scanning the chain or re-raising alerts.
     checkpoint_store: Option<SnapshotStore>,
+    /// Windowed decision-group retirement (see
+    /// [`Analyser::enable_group_retirement`]). `0` = off.
+    retire_lag: SimTime,
+    /// Groups checked but not yet old enough to retire, oldest first
+    /// (check times are monotone, so this stays sorted by construction).
+    pending_retire: VecDeque<(SimTime, CorrelationId)>,
+    /// Correlations whose evidence retirement has been submitted on-chain.
+    groups_retired: u64,
 }
 
 impl std::fmt::Debug for Analyser {
@@ -115,7 +130,33 @@ impl Analyser {
             fork_detection: false,
             alerted_fork_parents: BTreeSet::new(),
             checkpoint_store: None,
+            retire_lag: 0,
+            pending_retire: VecDeque::new(),
+            groups_retired: 0,
         }
+    }
+
+    /// Turns on windowed decision-group tracking: a group stays in
+    /// contract storage for `lag` after the Analyser finished checking
+    /// it (covering late duplicates and retransmissions still inside the
+    /// PEP retry budget), then its evidence is pruned on-chain via the
+    /// contract's `retire_groups`. Off by default — retirement submits
+    /// extra transactions, so deployments opt in when running under
+    /// sustained load.
+    pub fn enable_group_retirement(&mut self, lag: SimTime) {
+        self.retire_lag = lag;
+    }
+
+    /// Groups checked but still inside the retirement window.
+    #[must_use]
+    pub fn pending_retirements(&self) -> usize {
+        self.pending_retire.len()
+    }
+
+    /// Groups whose evidence retirement has been submitted on-chain.
+    #[must_use]
+    pub fn groups_retired(&self) -> u64 {
+        self.groups_retired
     }
 
     /// Turns on the sibling-block sweep: every poll scans the block store
@@ -232,6 +273,13 @@ impl Analyser {
         for parent in &self.alerted_fork_parents {
             w.put_raw(parent);
         }
+        w.put_u64(self.retire_lag);
+        w.put_u64(self.groups_retired);
+        w.put_varint(self.pending_retire.len() as u64);
+        for (checked_at, corr) in &self.pending_retire {
+            w.put_u64(*checked_at);
+            w.put_u64(corr.0);
+        }
         store.save(self.checked_groups, &w.into_bytes())
     }
 
@@ -297,6 +345,15 @@ impl Analyser {
         for _ in 0..fork_parents {
             alerted_fork_parents.insert(r.get_array::<32>().map_err(codec)?);
         }
+        let retire_lag = r.get_u64().map_err(codec)?;
+        let groups_retired = r.get_u64().map_err(codec)?;
+        let pending = r.get_varint().map_err(codec)?;
+        let mut pending_retire = VecDeque::new();
+        for _ in 0..pending {
+            let checked_at = r.get_u64().map_err(codec)?;
+            let corr = CorrelationId(r.get_u64().map_err(codec)?);
+            pending_retire.push_back((checked_at, corr));
+        }
         r.finish().map_err(codec)?;
         analyser.event_cursor = event_cursor;
         analyser.checked_groups = checked_groups;
@@ -304,6 +361,9 @@ impl Analyser {
         analyser.audited_txs = audited_txs;
         analyser.fork_detection = fork_detection;
         analyser.alerted_fork_parents = alerted_fork_parents;
+        analyser.retire_lag = retire_lag;
+        analyser.groups_retired = groups_retired;
+        analyser.pending_retire = pending_retire;
         analyser.checkpoint_store = Some(store);
         Ok(analyser)
     }
@@ -337,6 +397,9 @@ impl Analyser {
         for corr in completed {
             alerts.extend(self.check_group(node, corr, now));
             self.checked_groups += 1;
+            if self.retire_lag > 0 {
+                self.pending_retire.push_back((now, corr));
+            }
         }
         for alert in &alerts {
             // Failures here would mean our own signing identity broke; the
@@ -348,7 +411,38 @@ impl Analyser {
                 drams_crypto::codec::Encode::to_canonical_bytes(alert),
             );
         }
+        self.retire_due_groups(node, now);
         alerts
+    }
+
+    /// Submits one `retire_groups` transaction for every checked group
+    /// whose retirement window elapsed (no-op when retirement is off or
+    /// nothing is due). The batch is size-capped; the remainder retires
+    /// on later polls.
+    fn retire_due_groups(&mut self, node: &mut Node, now: SimTime) {
+        if self.retire_lag == 0 {
+            return;
+        }
+        let mut due = Vec::new();
+        while due.len() < RETIRE_BATCH_MAX {
+            match self.pending_retire.front() {
+                Some((checked_at, _)) if checked_at.saturating_add(self.retire_lag) <= now => {
+                    let (_, corr) = self.pending_retire.pop_front().expect("front exists");
+                    due.push(corr);
+                }
+                _ => break,
+            }
+        }
+        if due.is_empty() {
+            return;
+        }
+        self.groups_retired += due.len() as u64;
+        let _ = node.submit_call(
+            &self.keypair,
+            MONITOR_CONTRACT,
+            "retire_groups",
+            crate::contract::MonitorContract::retire_groups_payload(&due),
+        );
     }
 
     /// Batch-audits transaction signatures of main-chain blocks not yet
@@ -924,6 +1018,55 @@ mod tests {
         run_group(&mut r, 3, "doctor", honest_response("doctor"), true);
         assert!(recovered.poll(&mut r.node, 5_000).is_empty());
         assert_eq!(recovered.checked_groups(), checked + 1);
+    }
+
+    #[test]
+    fn retirement_prunes_checked_groups_after_the_lag() {
+        let mut r = rig();
+        r.analyser.enable_group_retirement(5_000);
+        run_group(&mut r, 1, "doctor", honest_response("doctor"), true);
+        assert!(r.analyser.poll(&mut r.node, 2_000).is_empty());
+        assert_eq!(r.analyser.pending_retirements(), 1);
+        // Inside the lag: nothing retired yet.
+        r.analyser.poll(&mut r.node, 4_000);
+        assert_eq!(r.analyser.groups_retired(), 0);
+        let storage = r.node.host().storage_of(MONITOR_CONTRACT).unwrap();
+        assert_eq!(storage.scan_prefix(b"ent/").count(), 4);
+        // Past the lag: the retire tx is submitted and commits with the
+        // next block.
+        r.analyser.poll(&mut r.node, 8_000);
+        assert_eq!(r.analyser.groups_retired(), 1);
+        assert_eq!(r.analyser.pending_retirements(), 0);
+        r.node.mine_block(9_000).unwrap();
+        let storage = r.node.host().storage_of(MONITOR_CONTRACT).unwrap();
+        assert_eq!(storage.scan_prefix(b"ent/").count(), 0, "evidence pruned");
+        // Retirement itself must not raise alerts.
+        assert!(r.analyser.poll(&mut r.node, 10_000).is_empty());
+    }
+
+    #[test]
+    fn retirement_state_survives_checkpoint_recovery() {
+        use drams_store::{MemBackend, SnapshotStore};
+        let mut r = rig();
+        r.analyser.enable_group_retirement(5_000);
+        r.analyser
+            .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
+            .unwrap();
+        run_group(&mut r, 1, "doctor", honest_response("doctor"), true);
+        assert!(r.analyser.poll(&mut r.node, 2_000).is_empty());
+        r.analyser.checkpoint().unwrap();
+        let store = r.analyser.detach_checkpoint().unwrap();
+
+        let mut recovered =
+            Analyser::recover(r.key.clone(), Keypair::from_seed(b"analyser"), store).unwrap();
+        assert_eq!(recovered.pending_retirements(), 1);
+        assert_eq!(recovered.groups_retired(), 0);
+        // The recovered analyser retires the pending group once due.
+        recovered.poll(&mut r.node, 8_000);
+        assert_eq!(recovered.groups_retired(), 1);
+        r.node.mine_block(9_000).unwrap();
+        let storage = r.node.host().storage_of(MONITOR_CONTRACT).unwrap();
+        assert_eq!(storage.scan_prefix(b"ent/").count(), 0);
     }
 
     #[test]

@@ -45,6 +45,12 @@ struct GroupState {
 const FLAG_CLOSED: u8 = 1;
 const FLAG_REQ_ALERTED: u8 = 2;
 const FLAG_RESP_ALERTED: u8 = 4;
+/// The group's four log entries were pruned by `retire_groups` after the
+/// Analyser finished with them. The group record itself stays behind as
+/// a tombstone so late duplicates of retired evidence are ignored
+/// instead of reopening the group (which would raise false MissingLog
+/// alerts at the next epoch sweep).
+const FLAG_RETIRED: u8 = 8;
 
 impl GroupState {
     fn encode(self) -> Vec<u8> {
@@ -159,6 +165,13 @@ impl MonitorContract {
 
     fn store_entry(ctx: &mut ExecutionContext<'_>, entry: &LogEntry) -> Result<(), String> {
         let now = ctx.timestamp_ms;
+        // A retired group already went through every check and had its
+        // evidence pruned; late duplicates are idempotent no-ops.
+        if let Some(bytes) = ctx.storage.get(&group_key(entry.correlation)) {
+            if GroupState::decode(bytes)?.flags & FLAG_RETIRED != 0 {
+                return Ok(());
+            }
+        }
         let ekey = entry_key(entry.correlation, entry.point);
         if let Some(existing_bytes) = ctx.storage.get(&ekey).cloned() {
             let existing =
@@ -313,6 +326,54 @@ impl MonitorContract {
         Ok(())
     }
 
+    /// Builds the payload for the `retire_groups` method.
+    #[must_use]
+    pub fn retire_groups_payload(correlations: &[CorrelationId]) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_varint(correlations.len() as u64);
+        for corr in correlations {
+            w.put_u64(corr.0);
+        }
+        w.into_bytes()
+    }
+
+    /// Prunes the bulk evidence (`ent/` entries) of closed groups the
+    /// Analyser has finished verifying, leaving a tombstoned group record
+    /// behind. Analyser-gated: only the party that consumes the evidence
+    /// may declare it consumed. Groups that are missing, still open or
+    /// already retired are skipped — retirement must be idempotent under
+    /// reorg re-execution.
+    fn handle_retire_groups(ctx: &mut ExecutionContext<'_>, payload: &[u8]) -> Result<(), String> {
+        let authorised = ctx
+            .storage
+            .get(b"cfg/analyser")
+            .cloned()
+            .ok_or("not initialised")?;
+        if ctx.sender_address().as_bytes().as_slice() != authorised.as_slice() {
+            return Err("sender is not the authorised analyser".into());
+        }
+        let mut r = Reader::new(payload);
+        let n = r.get_varint().map_err(|e| e.to_string())?;
+        for _ in 0..n {
+            let corr = CorrelationId(r.get_u64().map_err(|e| e.to_string())?);
+            let gkey = group_key(corr);
+            let Some(bytes) = ctx.storage.get(&gkey) else {
+                continue;
+            };
+            let mut group = GroupState::decode(bytes)?;
+            if group.flags & FLAG_CLOSED == 0 || group.flags & FLAG_RETIRED != 0 {
+                continue;
+            }
+            for point in ObservationPoint::ALL {
+                ctx.storage.remove(&entry_key(corr, point));
+            }
+            group.flags |= FLAG_RETIRED;
+            ctx.storage.insert(gkey, group.encode());
+        }
+        r.finish().map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
     fn handle_report_violation(
         ctx: &mut ExecutionContext<'_>,
         payload: &[u8],
@@ -366,6 +427,7 @@ impl SmartContract for MonitorContract {
             "advance_epoch" => Self::handle_advance_epoch(ctx),
             "set_timeout" => Self::handle_set_timeout(ctx, payload),
             "report_violation" => Self::handle_report_violation(ctx, payload),
+            "retire_groups" => Self::handle_retire_groups(ctx, payload),
             other => Err(format!("unknown method `{other}`")),
         }
     }
@@ -689,6 +751,96 @@ mod tests {
                 drams_chain::contract::TxStatus::Failed(_)
             ));
         }
+    }
+
+    #[test]
+    fn retire_groups_prunes_closed_evidence_and_tombstones_the_group() {
+        let (mut node, li, analyser) = test_node();
+        for point in ObservationPoint::ALL {
+            let d: &[u8] = if point.code() < 2 { b"req" } else { b"resp" };
+            submit_entry(&mut node, &li, &entry(20, point, d, 100));
+        }
+        node.mine_block(1_000).unwrap();
+        let entries_before = node
+            .host()
+            .storage_of(MONITOR_CONTRACT)
+            .unwrap()
+            .scan_prefix(b"ent/")
+            .count();
+        assert_eq!(entries_before, 4);
+
+        // Only the analyser may retire.
+        let id = node
+            .submit_call(
+                &li,
+                MONITOR_CONTRACT,
+                "retire_groups",
+                MonitorContract::retire_groups_payload(&[CorrelationId(20)]),
+            )
+            .unwrap();
+        node.mine_block(2_000).unwrap();
+        assert!(matches!(
+            node.receipt(&id).unwrap().1,
+            drams_chain::contract::TxStatus::Failed(_)
+        ));
+
+        node.submit_call(
+            &analyser,
+            MONITOR_CONTRACT,
+            "retire_groups",
+            MonitorContract::retire_groups_payload(&[CorrelationId(20)]),
+        )
+        .unwrap();
+        node.mine_block(3_000).unwrap();
+        let storage = node.host().storage_of(MONITOR_CONTRACT).unwrap();
+        assert_eq!(storage.scan_prefix(b"ent/").count(), 0, "evidence pruned");
+        assert_eq!(storage.scan_prefix(b"grp/").count(), 1, "tombstone stays");
+
+        // A late duplicate of retired evidence is ignored: no reopened
+        // group, no MissingLog at the next sweep.
+        submit_entry(
+            &mut node,
+            &li,
+            &entry(20, ObservationPoint::PepRequest, b"req", 100),
+        );
+        node.submit_call(&li, MONITOR_CONTRACT, "advance_epoch", vec![])
+            .unwrap();
+        node.mine_block(60_000).unwrap();
+        assert!(alert_events(&node).is_empty());
+        let storage = node.host().storage_of(MONITOR_CONTRACT).unwrap();
+        assert_eq!(storage.scan_prefix(b"ent/").count(), 0);
+        assert_eq!(storage.scan_prefix(b"open/").count(), 0);
+    }
+
+    #[test]
+    fn retire_groups_skips_open_and_unknown_groups() {
+        let (mut node, li, analyser) = test_node();
+        // An open group: one observation only.
+        submit_entry(
+            &mut node,
+            &li,
+            &entry(21, ObservationPoint::PepRequest, b"x", 100),
+        );
+        node.mine_block(1_000).unwrap();
+        node.submit_call(
+            &analyser,
+            MONITOR_CONTRACT,
+            "retire_groups",
+            MonitorContract::retire_groups_payload(&[CorrelationId(21), CorrelationId(999)]),
+        )
+        .unwrap();
+        node.mine_block(2_000).unwrap();
+        let storage = node.host().storage_of(MONITOR_CONTRACT).unwrap();
+        assert_eq!(
+            storage.scan_prefix(b"ent/").count(),
+            1,
+            "open groups keep their evidence"
+        );
+        // The open group still times out into MissingLog alerts.
+        node.submit_call(&li, MONITOR_CONTRACT, "advance_epoch", vec![])
+            .unwrap();
+        node.mine_block(60_000).unwrap();
+        assert!(!alert_events(&node).is_empty());
     }
 
     #[test]

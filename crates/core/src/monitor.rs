@@ -253,8 +253,51 @@ pub struct MonitorReport {
     /// What the network fault plane did to traffic (all zero on a
     /// perfect network).
     pub faults: drams_faas::fault::FaultStats,
+    /// Requests refused at the PEP admission gate because the in-flight
+    /// window was full (overload shedding); 0 without a load profile.
+    pub requests_shed: u64,
+    /// Requests admitted past the soft watermark (the degraded band
+    /// between 3/4 of the in-flight cap and the cap itself).
+    pub degraded_admissions: u64,
+    /// Decision-idempotency entries aged out of the PDP retransmission
+    /// cache after their retention window closed.
+    pub idempotency_evictions: u64,
+    /// Entries the PDP engine's bounded decision cache evicted (LRU).
+    pub decision_cache_evictions: u64,
+    /// Completed decision groups the Analyser retired (evidence pruned
+    /// from contract storage after the replay window).
+    pub groups_retired: u64,
+    /// Chain write-ahead-journal compactions (snapshot + prune) run.
+    pub journal_compactions: u64,
+    /// High-water marks of every bounded state pool (capacity planning
+    /// and the E14 regression gate).
+    pub peak: PeakState,
     /// Virtual time at which the run ended.
     pub finished_at: SimTime,
+}
+
+/// Peak tracked-state sizes per component over one run: the quantities
+/// that must stay bounded under overload for the monitor to be
+/// long-running. Each is a max over the run, sampled at the points the
+/// pool grows.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PeakState {
+    /// In-flight (unanswered, unabandoned) PEP requests.
+    pub pep_inflight: u64,
+    /// As-sent responses held for idempotent retransmission answers
+    /// across all PDP slots.
+    pub pdp_idempotency: u64,
+    /// Entries in the PDP engines' decision caches (max over slots).
+    pub pdp_decision_cache: u64,
+    /// Log entries resident in LI memory (max over LIs; WAL spill not
+    /// counted — that is the bounded-memory escape hatch).
+    pub li_resident: u64,
+    /// Decision groups queued for retirement in the Analyser's window.
+    pub analyser_pending_retire: u64,
+    /// Keys in the monitor contract's storage.
+    pub contract_storage: u64,
+    /// Unconsumed records in the chain node's write-ahead journal.
+    pub chain_journal_records: u64,
 }
 
 impl MonitorReport {

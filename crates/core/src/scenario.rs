@@ -66,15 +66,15 @@ use drams_faas::model::{CloudId, LatencyModel, PepId, TenantId, TenantSpec};
 use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use drams_faas::pep::Pep;
 use drams_faas::prp::Prp;
-use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary};
+use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary, Zipf};
 use drams_policy::attr::Request;
 use drams_policy::policy::PolicySet;
-use drams_store::persist::{recover_node, WalJournal};
+use drams_store::persist::{compact_node_journal, recover_node, WalJournal};
 use drams_store::{Durability, MemBackend, SnapshotStore, Wal, WalConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::RefCell;
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Probe ids `>= PDP_PROBE_BASE` belong to per-cloud PDP probes; member
@@ -118,6 +118,10 @@ pub struct RngStreams {
     /// actually happens, so fault-free runs leave the stream untouched
     /// and stay byte-comparable with pre-fault-plane baselines.
     pub retry: StdRng,
+    /// Zipf tenant-rank sampling of the population model. Drawn from
+    /// only when a [`LoadProfile`] declares a population, so profile-less
+    /// runs leave every other stream's sequence untouched.
+    pub population: StdRng,
 }
 
 impl RngStreams {
@@ -129,6 +133,7 @@ impl RngStreams {
             net: stream_rng(master_seed, "net"),
             churn: stream_rng(master_seed, "churn"),
             retry: stream_rng(master_seed, "retry"),
+            population: stream_rng(master_seed, "population"),
         }
     }
 }
@@ -170,6 +175,199 @@ pub const FAULT_SETTLE: SimTime = 4 * SECONDS;
 #[must_use]
 pub fn probe_mac_key(id: ProbeId) -> [u8; 32] {
     *Digest::of_parts(&[b"probe-mac", &id.0.to_be_bytes()]).as_bytes()
+}
+
+// ---------------------------------------------------------------------------
+// Overload / population model
+// ---------------------------------------------------------------------------
+
+/// Hard ceiling on any effective arrival rate: beyond this the DES would
+/// grind through sub-microsecond gaps without modelling anything new.
+pub const MAX_REQUEST_RATE: f64 = 50_000.0;
+/// Floor for a declared arrival rate: a pathological rate (zero,
+/// negative, NaN, infinite) clamps here instead of panicking the Poisson
+/// sampler or freezing virtual time.
+pub const MIN_REQUEST_RATE: f64 = 0.05;
+/// Largest modelled tenant population.
+pub const MAX_POPULATION: u32 = 1_000_000;
+/// Largest diurnal/spike multiplier, in permille (×100).
+pub const MAX_LOAD_MULTIPLIER_PERMILLE: u32 = 100_000;
+/// Evictions of the PDP idempotency cache accumulated before its journal
+/// is compacted (snapshot of the live window + prune of sealed segments).
+const PDP_COMPACT_EVICTIONS: u64 = 256;
+/// Floor for any retention/retirement window a [`LoadProfile`] declares:
+/// the full retry budget plus the fault settle margin. No retransmission,
+/// fault-plane duplicate or post-heal replay can arrive later than this,
+/// so state aged out past the floor can never be asked for again —
+/// eviction stays invisible to the protocol.
+pub const MIN_RETENTION: SimTime = RETRY_BUDGET + FAULT_SETTLE;
+
+/// Clamps a declared Poisson rate into the sane band. Finite in-range
+/// rates pass through untouched, so profile-less runs are byte-identical
+/// to pre-clamp baselines.
+#[must_use]
+pub fn clamp_rate(rate_per_sec: f64) -> f64 {
+    if rate_per_sec.is_finite() && rate_per_sec > 0.0 {
+        rate_per_sec.clamp(MIN_REQUEST_RATE, MAX_REQUEST_RATE)
+    } else {
+        MIN_REQUEST_RATE
+    }
+}
+
+/// One band of the diurnal schedule: from `start`, the phased base rate
+/// is multiplied by `multiplier_permille`/1000 (1000 = ×1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DiurnalBand {
+    /// Virtual time the band begins (it lasts until the next band).
+    pub start: SimTime,
+    /// Rate multiplier in permille.
+    pub multiplier_permille: u32,
+}
+
+/// A flash-crowd spike layered on top of the diurnal schedule: between
+/// `from` and `until`, the rate is additionally multiplied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlashCrowd {
+    /// Spike start.
+    pub from: SimTime,
+    /// Spike end (exclusive).
+    pub until: SimTime,
+    /// Rate multiplier in permille.
+    pub multiplier_permille: u32,
+}
+
+/// The population/overload model of a scenario: Zipf-skewed traffic over
+/// a (virtual) tenant population, diurnal rate schedules, flash-crowd
+/// spikes, and the capacity knobs of every bounded state pool. The
+/// default (empty) profile changes **nothing** — runs without one take
+/// the exact pre-profile code paths and stay byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadProfile {
+    /// Virtual tenant-population size the Zipf sampler ranks over; the
+    /// sampled rank maps onto the deployed tenants modulo the active
+    /// set. 0 = population model off (uniform tenant pick, as before).
+    pub population: u32,
+    /// Zipf skew exponent (0 = uniform; ~1 is the classic web skew).
+    pub zipf_exponent: f64,
+    /// Diurnal rate schedule, sorted by start (empty = flat).
+    pub diurnal: Vec<DiurnalBand>,
+    /// Flash-crowd spikes layered on the schedule.
+    pub spikes: Vec<FlashCrowd>,
+    /// Admission-control cap on in-flight PEP requests; past it new
+    /// arrivals are shed with a typed outcome. 0 = unbounded.
+    pub pep_inflight_cap: u32,
+    /// High-water mark for LI in-memory buffers; past it entries spill
+    /// to the backlog WAL. 0 = unbounded.
+    pub li_resident_cap: u32,
+    /// Retention window of the PDP's journaled idempotency cache;
+    /// entries older than this are evicted and the journal compacted.
+    /// 0 = keep forever. Clamped up to [`MIN_RETENTION`].
+    pub idempotency_retention: SimTime,
+    /// How long after a group's verification the Analyser retires it
+    /// (prunes its evidence from contract storage). 0 = never. Clamped
+    /// up to [`MIN_RETENTION`].
+    pub analyser_retire_lag: SimTime,
+    /// Compact the chain node's write-ahead journal every this many
+    /// blocks (snapshot + prune). 0 = never.
+    pub chain_compact_interval: u64,
+}
+
+impl Default for LoadProfile {
+    fn default() -> Self {
+        LoadProfile {
+            population: 0,
+            zipf_exponent: 1.0,
+            diurnal: Vec::new(),
+            spikes: Vec::new(),
+            pep_inflight_cap: 0,
+            li_resident_cap: 0,
+            idempotency_retention: 0,
+            analyser_retire_lag: 0,
+            chain_compact_interval: 0,
+        }
+    }
+}
+
+impl LoadProfile {
+    /// Whether the profile is the default no-op.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == LoadProfile::default()
+    }
+
+    /// Validates and clamps every knob into its sane band: pathological
+    /// populations, exponents and multipliers are bounded, and any
+    /// declared retention/retirement window is floored at
+    /// [`MIN_RETENTION`] so eviction can never race the retry budget.
+    #[must_use]
+    pub fn clamped(&self) -> Self {
+        let clamp_mult = |m: u32| -> u32 { m.clamp(1, MAX_LOAD_MULTIPLIER_PERMILLE) };
+        LoadProfile {
+            population: self.population.min(MAX_POPULATION),
+            zipf_exponent: if self.zipf_exponent.is_finite() {
+                self.zipf_exponent.clamp(0.0, 8.0)
+            } else {
+                1.0
+            },
+            diurnal: self
+                .diurnal
+                .iter()
+                .map(|b| DiurnalBand {
+                    start: b.start,
+                    multiplier_permille: clamp_mult(b.multiplier_permille),
+                })
+                .collect(),
+            spikes: self
+                .spikes
+                .iter()
+                .map(|s| FlashCrowd {
+                    from: s.from,
+                    until: s.until.max(s.from),
+                    multiplier_permille: clamp_mult(s.multiplier_permille),
+                })
+                .collect(),
+            pep_inflight_cap: self.pep_inflight_cap,
+            li_resident_cap: self.li_resident_cap,
+            idempotency_retention: if self.idempotency_retention > 0 {
+                self.idempotency_retention.max(MIN_RETENTION)
+            } else {
+                0
+            },
+            analyser_retire_lag: if self.analyser_retire_lag > 0 {
+                self.analyser_retire_lag.max(MIN_RETENTION)
+            } else {
+                0
+            },
+            chain_compact_interval: self.chain_compact_interval,
+        }
+    }
+
+    /// The combined diurnal × spike multiplier at `now`, in permille².
+    fn multiplier_at(&self, now: SimTime) -> (u64, u64) {
+        let diurnal = self
+            .diurnal
+            .iter()
+            .rev()
+            .find(|b| b.start <= now)
+            .map_or(1000, |b| u64::from(b.multiplier_permille));
+        let spike = self
+            .spikes
+            .iter()
+            .filter(|s| s.from <= now && now < s.until)
+            .map(|s| u64::from(s.multiplier_permille))
+            .max()
+            .unwrap_or(1000);
+        (diurnal, spike)
+    }
+
+    /// The effective arrival rate at `now` for a phased base rate:
+    /// base × diurnal × spike, clamped into the sane band.
+    #[must_use]
+    pub fn effective_rate(&self, base_rate: f64, now: SimTime) -> f64 {
+        let (diurnal, spike) = self.multiplier_at(now);
+        #[allow(clippy::cast_precision_loss)]
+        clamp_rate(base_rate * (diurnal as f64 / 1000.0) * (spike as f64 / 1000.0))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -369,6 +567,8 @@ pub struct ScenarioSpec {
     pub script: Vec<ScriptedAction>,
     /// The deterministic network fault plan (empty = perfect network).
     pub faults: FaultPlan,
+    /// The population/overload model (empty = no overload machinery).
+    pub load: LoadProfile,
 }
 
 impl ScenarioSpec {
@@ -383,6 +583,7 @@ impl ScenarioSpec {
             placement: PdpPlacement::Central,
             script: Vec::new(),
             faults: FaultPlan::default(),
+            load: LoadProfile::default(),
         }
     }
 }
@@ -687,6 +888,11 @@ struct WorkloadSource {
     total_requests: u64,
     base_rate: f64,
     phases: Vec<Phase>,
+    /// The (clamped) overload model: diurnal/spike rate multipliers.
+    load: LoadProfile,
+    /// Zipf tenant-rank sampler over the virtual population; `None`
+    /// keeps the pre-profile uniform pick on the workload stream.
+    zipf: Option<Zipf>,
     generator: RequestGenerator,
     /// Latest scripted `TenantJoin` time, if any: while one is still
     /// ahead, an empty tenant set may refill and the source keeps
@@ -706,11 +912,13 @@ struct WorkloadSource {
 
 impl WorkloadSource {
     fn rate_at(&self, now: SimTime) -> f64 {
-        self.phases
+        let base = self
+            .phases
             .iter()
             .rev()
             .find(|p| p.start <= now)
-            .map_or(self.base_rate, |p| p.rate_per_sec)
+            .map_or(self.base_rate, |p| p.rate_per_sec);
+        self.load.effective_rate(base, now)
     }
 
     fn drain_margin(&self) -> SimTime {
@@ -745,7 +953,13 @@ impl<'a> SimService<Msg, Ctx<'a>> for WorkloadSource {
             return;
         }
         ctx.report.requests_issued += 1;
-        let pick = ctx.rngs.workload.gen_range(0..ctx.active_tenants.len());
+        let pick = match &self.zipf {
+            // Population model: a Zipf-ranked virtual tenant, folded
+            // onto the deployed active set. Drawn from its own stream so
+            // profile-less runs never see the difference.
+            Some(zipf) => zipf.sample(&mut ctx.rngs.population) % ctx.active_tenants.len(),
+            None => ctx.rngs.workload.gen_range(0..ctx.active_tenants.len()),
+        };
         let tenant = ctx.active_tenants[pick];
         let services = &ctx.tenants[tenant].spec.services;
         let service = services[ctx.rngs.workload.gen_range(0..services.len().max(1))].clone();
@@ -838,6 +1052,12 @@ struct PepService {
     /// One circuit breaker per PDP slot, shared by all PEPs (the
     /// per-cloud reachability view of the tenant edge).
     breakers: Vec<Breaker>,
+    /// Admission-control cap on `inflight` (`usize::MAX` = unbounded).
+    /// At the cap new arrivals are shed *before* any interception or
+    /// probe observation — a shed request produces no evidence and opens
+    /// no decision group, so overload degrades availability, never
+    /// detection. Admitted requests always carry full evidence.
+    inflight_cap: usize,
 }
 
 impl PepService {
@@ -870,6 +1090,18 @@ impl<'a> SimService<Msg, Ctx<'a>> for PepService {
                 service,
                 request,
             } => {
+                // Admission control: at the in-flight cap the request is
+                // shed before the PEP ever sees it — no interception, no
+                // observation, no group. Between the soft watermark
+                // (3/4 cap) and the cap it is admitted but flagged as a
+                // degraded admission.
+                if self.inflight.len() >= self.inflight_cap {
+                    ctx.report.requests_shed += 1;
+                    return;
+                }
+                if self.inflight.len() >= self.inflight_cap - self.inflight_cap / 4 {
+                    ctx.report.degraded_admissions += 1;
+                }
                 let mut env = self.peps[tenant].intercept(service, request, now);
                 ctx.issued_at_by_corr.insert(env.correlation, now);
                 if ctx.monitoring {
@@ -895,6 +1127,8 @@ impl<'a> SimService<Msg, Ctx<'a>> for PepService {
                         attempts: 1,
                     },
                 );
+                ctx.report.peak.pep_inflight =
+                    ctx.report.peak.pep_inflight.max(self.inflight.len() as u64);
                 let correlation = env.correlation;
                 let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
                 out.emit(latency, Msg::PdpReceive { slot, env });
@@ -1021,8 +1255,19 @@ struct PdpSlot {
     /// Analyser's conflicting-observation check), without re-observing
     /// or re-running adversary hooks.
     decided: HashMap<CorrelationId, ResponseEnvelope>,
+    /// Decisions in `decided_at` order, for retention-window eviction
+    /// (kept in lockstep with `decided`).
+    decided_order: VecDeque<(SimTime, CorrelationId)>,
+    /// Retention window of the idempotency cache: entries older than
+    /// this are evicted — provably safe past [`MIN_RETENTION`], since no
+    /// retransmission can arrive after the retry budget. 0 = keep all.
+    retention: SimTime,
+    /// Evictions since the journal was last compacted.
+    evictions_since_compact: u64,
     /// Write-ahead journal of the decision cache and any standing
-    /// silence window, so a crashed PDP restarts idempotent.
+    /// silence window, so a crashed PDP restarts idempotent. Under a
+    /// retention window it is periodically compacted: a snapshot of the
+    /// live entries replaces the evicted prefix.
     journal: Wal,
 }
 
@@ -1032,7 +1277,12 @@ const PDP_JOURNAL_DECIDED: u8 = 1;
 const PDP_JOURNAL_SILENCE: u8 = 2;
 
 impl PdpSlot {
-    fn new(probe_id: ProbeId, key: &SymmetricKey, pdp: drams_policy::pdp::Pdp) -> Self {
+    fn new(
+        probe_id: ProbeId,
+        key: &SymmetricKey,
+        pdp: drams_policy::pdp::Pdp,
+        retention: SimTime,
+    ) -> Self {
         let journal = Wal::open(
             Box::new(MemBackend::new()),
             WalConfig {
@@ -1047,7 +1297,80 @@ impl PdpSlot {
             probe_id,
             silenced_until: 0,
             decided: HashMap::new(),
+            decided_order: VecDeque::new(),
+            retention,
+            evictions_since_compact: 0,
             journal,
+        }
+    }
+
+    /// Ages out idempotency entries whose retention window has closed
+    /// and compacts the journal once enough have gone. Returns how many
+    /// were evicted.
+    fn evict_expired(&mut self, now: SimTime) -> u64 {
+        if self.retention == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        while let Some(&(decided_at, corr)) = self.decided_order.front() {
+            if decided_at.saturating_add(self.retention) > now {
+                break;
+            }
+            self.decided_order.pop_front();
+            self.decided.remove(&corr);
+            evicted += 1;
+        }
+        self.evictions_since_compact += evicted;
+        if self.evictions_since_compact >= PDP_COMPACT_EVICTIONS {
+            self.compact_journal();
+        }
+        evicted
+    }
+
+    /// Rewrites the journal as one snapshot of the live window plus an
+    /// empty tail: recovery replays exactly the un-evicted entries, so a
+    /// crashed PDP is byte-equivalent to an uncrashed one.
+    fn compact_journal(&mut self) {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&self.silenced_until.to_be_bytes());
+        payload.extend_from_slice(&(self.decided_order.len() as u64).to_be_bytes());
+        for &(_, corr) in &self.decided_order {
+            let env = &self.decided[&corr];
+            let bytes = env.to_canonical_bytes();
+            payload.extend_from_slice(
+                &u32::try_from(bytes.len())
+                    .expect("envelope fits u32")
+                    .to_be_bytes(),
+            );
+            payload.extend_from_slice(&bytes);
+        }
+        let upto = self.journal.next_seq();
+        self.journal
+            .write_snapshot(upto, &payload)
+            .expect("pdp journal snapshot");
+        self.journal.prune_through(upto).expect("pdp journal prune");
+        self.evictions_since_compact = 0;
+    }
+
+    /// Restores the decision cache from a compaction snapshot payload.
+    fn restore_snapshot(&mut self, payload: &[u8]) {
+        let mut buf = [0u8; 8];
+        buf.copy_from_slice(&payload[..8]);
+        self.silenced_until = SimTime::from_be_bytes(buf);
+        buf.copy_from_slice(&payload[8..16]);
+        let n = u64::from_be_bytes(buf);
+        let mut at = 16;
+        for _ in 0..n {
+            let mut len4 = [0u8; 4];
+            len4.copy_from_slice(&payload[at..at + 4]);
+            let len = u32::from_be_bytes(len4) as usize;
+            at += 4;
+            let env = ResponseEnvelope::from_canonical_bytes(&payload[at..at + len])
+                .expect("snapshotted response decodes");
+            at += len;
+            self.decided_order
+                .push_back((env.decided_at, env.correlation));
+            self.decided.insert(env.correlation, env);
         }
     }
 
@@ -1073,13 +1396,23 @@ impl PdpSlot {
         self.probe = Probe::new(self.probe_id, key.clone(), probe_mac_key(self.probe_id));
         self.silenced_until = 0;
         self.decided.clear();
-        for (_, rec) in self.journal.replay().expect("pdp journal replay") {
+        self.decided_order.clear();
+        let base = match self.journal.read_snapshot().expect("pdp snapshot read") {
+            Some((seq, payload)) => {
+                self.restore_snapshot(&payload);
+                seq
+            }
+            None => 0,
+        };
+        for (_, rec) in self.journal.replay_from(base).expect("pdp journal replay") {
             match rec.split_first() {
                 Some((&PDP_JOURNAL_DECIDED, rest)) if rest.len() > 8 => {
                     let mut corr = [0u8; 8];
                     corr.copy_from_slice(&rest[..8]);
                     let env = ResponseEnvelope::from_canonical_bytes(&rest[8..])
                         .expect("journaled response decodes");
+                    self.decided_order
+                        .push_back((env.decided_at, env.correlation));
                     self.decided
                         .insert(CorrelationId(u64::from_be_bytes(corr)), env);
                 }
@@ -1153,8 +1486,17 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
                 if ctx.adversary.tamper_response_in_transit(&mut resp_env, now) {
                     ctx.truth.tampered_responses.push(resp_env.correlation);
                 }
+                s.decided_order.push_back((now, env.correlation));
                 s.decided.insert(env.correlation, resp_env.clone());
                 s.journal_decision(&resp_env);
+                ctx.report.idempotency_evictions += s.evict_expired(now);
+                ctx.report.peak.pdp_idempotency =
+                    ctx.report.peak.pdp_idempotency.max(s.decided.len() as u64);
+                ctx.report.peak.pdp_decision_cache = ctx
+                    .report
+                    .peak
+                    .pdp_decision_cache
+                    .max(s.pdp.cache_len() as u64);
                 let latency = ctx.pep_pdp.sample(&mut ctx.rngs.net);
                 out.emit(
                     latency,
@@ -1163,6 +1505,8 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
                         env: resp_env,
                     },
                 );
+                ctx.report.decision_cache_evictions =
+                    self.slots.iter().map(|sl| sl.pdp.cache_evictions()).sum();
             }
             Msg::PolicyAdmin(action) => {
                 match action {
@@ -1213,6 +1557,9 @@ struct LiService {
     offline_since: Vec<SimTime>,
     flush_interval: SimTime,
     batch_size: usize,
+    /// High-water mark for LI in-memory buffers (0 = unbounded); past it
+    /// entries live in the backlog WAL only until the next flush.
+    resident_cap: usize,
     key: SymmetricKey,
 }
 
@@ -1239,6 +1586,9 @@ impl LiService {
             self.batch_size,
         );
         li.attach_backlog(Self::backlog_wal());
+        if self.resident_cap > 0 {
+            li.set_resident_cap(self.resident_cap);
+        }
         self.lis.push(li);
         self.pending.push(Vec::new());
         self.backlog.push(Vec::new());
@@ -1259,7 +1609,7 @@ impl LiService {
             self.offline_since[li] = now;
         } else if !cut && was {
             self.lis[li].set_offline(false);
-            let backlog = self.lis[li].buffered_entries().len() as u64;
+            let backlog = self.lis[li].buffered() as u64;
             ctx.report.li_replayed += backlog;
             ctx.report
                 .spill_recovery
@@ -1277,6 +1627,11 @@ impl LiService {
         }
         assign_tx_times(&mut self.pending[li], &ids, &mut ctx.tx_entry_times);
         ctx.report.max_mempool = ctx.report.max_mempool.max(ctx.node.mempool_len());
+        ctx.report.peak.li_resident = ctx
+            .report
+            .peak
+            .li_resident
+            .max(self.lis[li].buffered_entries().len() as u64);
     }
 
     fn drain_backlog(&mut self, li: usize, ctx: &mut Ctx<'_>) {
@@ -1363,6 +1718,11 @@ struct ChainService {
     /// The chain configuration of the deployment — a crashed node is
     /// rebuilt with the same parameters before the journal replays.
     chain_config: ChainConfig,
+    /// Compact the write-ahead journal every this many blocks (0 = off).
+    compact_interval: u64,
+    /// Journal sequence the last compaction snapshot covers; the live
+    /// record count is `next_seq - journal_base`.
+    journal_base: u64,
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
@@ -1445,6 +1805,27 @@ impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
             alert.detected_at = now;
             ctx.report.alerts.push(alert);
         }
+        // Capacity gauges: live journal records and contract-storage
+        // keys, sampled once per block (pure reads — no RNG, no state).
+        let live_records = ctx
+            .node_wal
+            .borrow()
+            .next_seq()
+            .saturating_sub(self.journal_base);
+        ctx.report.peak.chain_journal_records =
+            ctx.report.peak.chain_journal_records.max(live_records);
+        if let Some(storage) = ctx.node.host().storage_of(MONITOR_CONTRACT) {
+            ctx.report.peak.contract_storage =
+                ctx.report.peak.contract_storage.max(storage.len() as u64);
+        }
+        if self.compact_interval > 0 && next_height % self.compact_interval == 0 {
+            // Bounded-journal mode: fold everything mined so far into a
+            // snapshot and drop the sealed segments. Recovery replays
+            // snapshot-then-tail and reconstructs the same node.
+            compact_node_journal(&mut ctx.node_wal.borrow_mut()).expect("chain journal compaction");
+            self.journal_base = ctx.node_wal.borrow().next_seq();
+            ctx.report.journal_compactions += 1;
+        }
         if out.within_deadline(now) {
             out.emit(self.block_interval, Msg::MineTick);
         }
@@ -1470,6 +1851,12 @@ impl<'a> SimService<Msg, Ctx<'a>> for AnalyserService {
                 // else observes it: a crash after this point resumes
                 // here, never re-checks, never re-alerts.
                 self.analyser.checkpoint().expect("analyser checkpoint");
+                ctx.report.groups_retired = self.analyser.groups_retired();
+                ctx.report.peak.analyser_pending_retire = ctx
+                    .report
+                    .peak
+                    .analyser_pending_retire
+                    .max(self.analyser.pending_retirements() as u64);
                 if out.within_deadline(now) {
                     out.emit(self.poll_interval, Msg::AnalyserTick);
                 }
@@ -1783,6 +2170,9 @@ pub fn run_scenario<A: Adversary>(
     adversary: &mut A,
 ) -> (MonitorReport, GroundTruth) {
     let config = &spec.config;
+    // Pathological overload knobs are clamped once, up front; the
+    // default profile passes through unchanged.
+    let load = spec.load.clamped();
     let mut report = MonitorReport::default();
     let mut truth = GroundTruth::default();
     report.policy_activations = 1;
@@ -1820,7 +2210,12 @@ pub fn run_scenario<A: Adversary>(
         PdpPlacement::Central => {
             let probe_id = ProbeId(0);
             probe_mac_keys.insert(probe_id, probe_mac_key(probe_id));
-            slots.push(PdpSlot::new(probe_id, &key, prp.active().pdp()));
+            slots.push(PdpSlot::new(
+                probe_id,
+                &key,
+                prp.active().pdp(),
+                load.idempotency_retention,
+            ));
             slot_site.push(Site::Infra);
             for t in &config.federation.tenants {
                 pdp_slot_of_cloud.entry(t.cloud.0).or_insert(0);
@@ -1837,7 +2232,12 @@ pub fn run_scenario<A: Adversary>(
                 let probe_id = ProbeId(PDP_PROBE_BASE + cloud);
                 probe_mac_keys.insert(probe_id, probe_mac_key(probe_id));
                 pdp_slot_of_cloud.insert(cloud, slots.len());
-                slots.push(PdpSlot::new(probe_id, &key, prp.active().pdp()));
+                slots.push(PdpSlot::new(
+                    probe_id,
+                    &key,
+                    prp.active().pdp(),
+                    load.idempotency_retention,
+                ));
                 slot_site.push(Site::Cloud(CloudId(cloud)));
             }
         }
@@ -1863,6 +2263,7 @@ pub fn run_scenario<A: Adversary>(
         offline_since: Vec::new(),
         flush_interval: config.li_flush_interval,
         batch_size: config.li_batch_size,
+        resident_cap: load.li_resident_cap as usize,
         key: key.clone(),
     };
     for i in 0..=tenant_count {
@@ -1919,6 +2320,13 @@ pub fn run_scenario<A: Adversary>(
     // in the checkpoint, so a recovered Analyser keeps it without
     // re-alerting known forks). Enabled before the first checkpoint.
     analyser.enable_fork_detection();
+    if load.analyser_retire_lag > 0 {
+        // Windowed group retirement: evidence of verified groups is
+        // pruned from contract storage once the replay window closes.
+        // Enabled before the first checkpoint so the lag (and the
+        // pending window) ride in every recovery.
+        analyser.enable_group_retirement(load.analyser_retire_lag);
+    }
     analyser
         .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
         .expect("analyser checkpoint");
@@ -1990,6 +2398,9 @@ pub fn run_scenario<A: Adversary>(
         total_requests: config.total_requests,
         base_rate: config.request_rate_per_sec,
         phases: spec.phases.clone(),
+        zipf: (load.population > 0)
+            .then(|| Zipf::new(load.population as usize, load.zipf_exponent)),
+        load: load.clone(),
         generator: RequestGenerator::new(Vocabulary::default(), 1.1, config.seed ^ 0x9e37),
         last_join_at: spec
             .script
@@ -2016,6 +2427,11 @@ pub fn run_scenario<A: Adversary>(
         key: key.clone(),
         inflight: HashMap::new(),
         breakers: vec![Breaker::Closed { failures: 0 }; slot_count],
+        inflight_cap: if load.pep_inflight_cap > 0 {
+            load.pep_inflight_cap as usize
+        } else {
+            usize::MAX
+        },
     }));
     rt.register(Box::new(PdpService {
         prp,
@@ -2030,6 +2446,8 @@ pub fn run_scenario<A: Adversary>(
         block_interval: config.block_interval,
         event_cursor,
         chain_config,
+        compact_interval: load.chain_compact_interval,
+        journal_base: 0,
     }));
     rt.register(Box::new(AnalyserService {
         analyser,
@@ -2081,10 +2499,13 @@ pub fn run_scenario<A: Adversary>(
 
     // --- initial events ----------------------------------------------------
     let arrivals = PoissonArrivals::with_rate_per_sec(
-        spec.phases
-            .first()
-            .filter(|p| p.start == 0)
-            .map_or(config.request_rate_per_sec, |p| p.rate_per_sec),
+        load.effective_rate(
+            spec.phases
+                .first()
+                .filter(|p| p.start == 0)
+                .map_or(config.request_rate_per_sec, |p| p.rate_per_sec),
+            0,
+        ),
     );
     rt.schedule(arrivals.next_gap(&mut ctx.rngs.workload), Msg::Arrival);
     if config.monitoring_enabled {
@@ -2824,5 +3245,302 @@ mod tests {
         assert_eq!(report.requests_completed, 60);
         assert_eq!(report.groups_completed, 60);
         assert!(report.alerts.is_empty());
+    }
+
+    #[test]
+    fn clamp_rate_bounds_pathological_rates() {
+        assert_eq!(clamp_rate(f64::INFINITY), MIN_REQUEST_RATE);
+        assert_eq!(clamp_rate(f64::NAN), MIN_REQUEST_RATE);
+        assert_eq!(clamp_rate(f64::NEG_INFINITY), MIN_REQUEST_RATE);
+        assert_eq!(clamp_rate(-3.0), MIN_REQUEST_RATE);
+        assert_eq!(clamp_rate(0.0), MIN_REQUEST_RATE);
+        assert_eq!(clamp_rate(1e18), MAX_REQUEST_RATE);
+        assert_eq!(clamp_rate(0.001), MIN_REQUEST_RATE);
+        assert_eq!(clamp_rate(100.0), 100.0, "sane rates pass untouched");
+    }
+
+    #[test]
+    fn load_profile_clamping_floors_retention_and_caps_population() {
+        let wild = LoadProfile {
+            population: 50_000_000,
+            zipf_exponent: f64::NAN,
+            diurnal: vec![DiurnalBand {
+                start: 0,
+                multiplier_permille: 0,
+            }],
+            spikes: vec![FlashCrowd {
+                from: 5 * SECONDS,
+                until: SECONDS, // inverted window
+                multiplier_permille: 9_999_999,
+            }],
+            pep_inflight_cap: 4,
+            li_resident_cap: 4,
+            idempotency_retention: 1, // below the safety floor
+            analyser_retire_lag: 1,   // below the safety floor
+            chain_compact_interval: 8,
+        };
+        let sane = wild.clamped();
+        assert_eq!(sane.population, MAX_POPULATION);
+        assert!(sane.zipf_exponent.is_finite());
+        assert!(sane.diurnal[0].multiplier_permille >= 1);
+        assert!(sane.spikes[0].until >= sane.spikes[0].from);
+        assert!(sane.spikes[0].multiplier_permille <= MAX_LOAD_MULTIPLIER_PERMILLE);
+        assert_eq!(
+            sane.idempotency_retention, MIN_RETENTION,
+            "retention below the retry budget would break idempotency"
+        );
+        assert_eq!(sane.analyser_retire_lag, MIN_RETENTION);
+        // Zero stays zero: the feature stays off rather than being
+        // silently enabled at the floor.
+        let off = LoadProfile::default().clamped();
+        assert_eq!(off.idempotency_retention, 0);
+        assert_eq!(off.analyser_retire_lag, 0);
+    }
+
+    #[test]
+    fn diurnal_bands_and_flash_crowds_multiply_the_rate() {
+        let load = LoadProfile {
+            diurnal: vec![
+                DiurnalBand {
+                    start: 0,
+                    multiplier_permille: 500,
+                },
+                DiurnalBand {
+                    start: 2 * SECONDS,
+                    multiplier_permille: 2000,
+                },
+            ],
+            spikes: vec![FlashCrowd {
+                from: 3 * SECONDS,
+                until: 4 * SECONDS,
+                multiplier_permille: 3000,
+            }],
+            ..LoadProfile::default()
+        };
+        assert_eq!(load.multiplier_at(0), (500, 1000));
+        assert_eq!(load.multiplier_at(SECONDS), (500, 1000));
+        assert_eq!(load.multiplier_at(2 * SECONDS), (2000, 1000));
+        assert_eq!(load.multiplier_at(3 * SECONDS + MILLIS), (2000, 3000));
+        assert_eq!(load.multiplier_at(5 * SECONDS), (2000, 1000));
+        assert_eq!(load.effective_rate(100.0, 0), 50.0);
+        assert_eq!(load.effective_rate(100.0, 3 * SECONDS + MILLIS), 600.0);
+        // A default profile is the identity on any sane rate.
+        let unit = LoadProfile::default();
+        assert_eq!(unit.multiplier_at(7 * SECONDS), (1000, 1000));
+        assert_eq!(unit.effective_rate(250.0, 7 * SECONDS), 250.0);
+    }
+
+    #[test]
+    fn pathological_rates_still_terminate() {
+        // An infinite base rate and a NaN phase must clamp rather than
+        // hang the Poisson sampler or divide the gap to zero forever.
+        let mut config = base_config();
+        config.total_requests = 8;
+        config.request_rate_per_sec = f64::INFINITY;
+        let spec = ScenarioSpec {
+            phases: vec![Phase {
+                start: 50 * MILLIS,
+                rate_per_sec: f64::NAN,
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(report.requests_issued, 8);
+        assert_eq!(report.requests_completed, 8);
+        assert_eq!(truth.total_attacks(), 0);
+        assert!(report.alerts.is_empty(), "alerts: {:?}", report.alerts);
+        assert!(report.finished_at < config.horizon);
+    }
+
+    #[test]
+    fn honest_overload_sheds_without_false_alerts() {
+        // A Zipf-skewed flash crowd slams a PEP capped at 8 in-flight
+        // requests: the overflow is shed *before* interception, so no
+        // group ever opens for a shed request and an honest run stays
+        // alert-free; every bounded buffer must respect its cap.
+        let mut config = base_config();
+        config.total_requests = 300;
+        config.request_rate_per_sec = 3000.0;
+        let spec = ScenarioSpec {
+            load: LoadProfile {
+                population: 800,
+                zipf_exponent: 1.1,
+                spikes: vec![FlashCrowd {
+                    from: 0,
+                    until: SECONDS,
+                    multiplier_permille: 3000,
+                }],
+                pep_inflight_cap: 8,
+                li_resident_cap: 4,
+                ..LoadProfile::default()
+            },
+            ..ScenarioSpec::canonical(&config)
+        };
+        let (report, truth) = run_scenario(&spec, &mut NoAdversary);
+        assert_eq!(truth.total_attacks(), 0);
+        assert!(report.requests_shed > 0, "the cap must have bitten");
+        assert!(report.degraded_admissions > 0, "watermark must trip first");
+        assert_eq!(
+            report.requests_completed,
+            report.requests_issued - report.requests_shed,
+            "every admitted request completes, every shed one vanishes"
+        );
+        assert!(report.peak.pep_inflight <= 8, "{:?}", report.peak);
+        assert!(report.peak.li_resident <= 4, "{:?}", report.peak);
+        assert!(
+            report.alerts.is_empty(),
+            "shedding is not an attack: {:?}",
+            report.alerts
+        );
+    }
+
+    #[test]
+    fn idempotency_eviction_is_invisible_under_retransmission() {
+        // Satellite property: evicting journaled decisions older than
+        // the retention floor must never change an idempotent
+        // retransmission answer — a duplicating/reordering fault plan
+        // exercises the cache all run long, and the capped run must be
+        // byte-identical to its unbounded twin while actually evicting.
+        use drams_crypto::codec::Encode;
+        use drams_faas::fault::LinkFault;
+        let mut config = base_config();
+        config.total_requests = 110;
+        config.request_rate_per_sec = 5.0; // ~22 s of arrivals, past the floor
+        let faults = FaultPlan {
+            links: vec![LinkFault {
+                duplicate_permille: 300,
+                reorder_permille: 200,
+                reorder_spread: 5 * MILLIS,
+                active_from: 0,
+                active_until: 25 * SECONDS,
+                ..LinkFault::default()
+            }],
+            partitions: Vec::new(),
+        };
+        let unbounded_spec = ScenarioSpec {
+            faults: faults.clone(),
+            ..ScenarioSpec::canonical(&config)
+        };
+        let capped_spec = ScenarioSpec {
+            load: LoadProfile {
+                idempotency_retention: MIN_RETENTION,
+                ..LoadProfile::default()
+            },
+            ..unbounded_spec.clone()
+        };
+        let (unbounded, unbounded_truth) = run_scenario(&unbounded_spec, &mut NoAdversary);
+        let (capped, capped_truth) = run_scenario(&capped_spec, &mut NoAdversary);
+        assert!(unbounded.faults.duplicated > 0, "the plan must bite");
+        assert!(capped.idempotency_evictions > 0, "eviction must happen");
+        assert!(
+            capped.peak.pdp_idempotency < unbounded.peak.pdp_idempotency,
+            "capped {} vs unbounded {}",
+            capped.peak.pdp_idempotency,
+            unbounded.peak.pdp_idempotency
+        );
+        assert_eq!(unbounded_truth, capped_truth);
+        assert_eq!(unbounded.requests_completed, capped.requests_completed);
+        assert_eq!(unbounded.entries_logged, capped.entries_logged);
+        assert_eq!(unbounded.groups_completed, capped.groups_completed);
+        assert_eq!(unbounded.txs_committed, capped.txs_committed);
+        assert_eq!(unbounded.finished_at, capped.finished_at);
+        let a: Vec<Vec<u8>> = unbounded
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        let b: Vec<Vec<u8>> = capped
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        assert_eq!(a, b, "eviction may never change an answered decision");
+    }
+
+    #[test]
+    fn analyser_retirement_never_drops_or_repeats_an_alert() {
+        // Satellite property: pruning closed decision groups from
+        // contract storage (after the retirement lag) must not lose or
+        // duplicate any alert. A stalled LI plants genuine MissingLog
+        // alerts; the retired run must report the same alert bytes as
+        // its unpruned twin while measurably shrinking storage.
+        use drams_crypto::codec::Encode;
+        let mut config = base_config();
+        config.total_requests = 140;
+        config.request_rate_per_sec = 6.0; // ~23 s: traffic outlives the lag
+        let base_spec = ScenarioSpec {
+            script: vec![ScriptedAction::StallLi {
+                at: 200 * MILLIS,
+                until: 6 * SECONDS, // outlives the sweep of early groups
+                tenant: TenantId(1),
+            }],
+            ..ScenarioSpec::canonical(&config)
+        };
+        let retired_spec = ScenarioSpec {
+            load: LoadProfile {
+                analyser_retire_lag: MIN_RETENTION,
+                ..LoadProfile::default()
+            },
+            ..base_spec.clone()
+        };
+        let (unpruned, unpruned_truth) = run_scenario(&base_spec, &mut NoAdversary);
+        let (retired, retired_truth) = run_scenario(&retired_spec, &mut NoAdversary);
+        assert!(
+            !unpruned.alerts.is_empty(),
+            "the stall must raise real alerts"
+        );
+        assert!(retired.groups_retired > 0, "retirement must happen");
+        assert_eq!(unpruned_truth, retired_truth);
+        assert_eq!(unpruned.requests_completed, retired.requests_completed);
+        assert_eq!(unpruned.entries_logged, retired.entries_logged);
+        assert_eq!(unpruned.groups_completed, retired.groups_completed);
+        let a: Vec<Vec<u8>> = unpruned
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        let b: Vec<Vec<u8>> = retired
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        assert_eq!(a, b, "pruning may never drop or repeat an alert");
+        assert!(
+            retired.peak.contract_storage < unpruned.peak.contract_storage,
+            "retired {} vs unpruned {}",
+            retired.peak.contract_storage,
+            unpruned.peak.contract_storage
+        );
+    }
+
+    #[test]
+    fn chain_compaction_bounds_journal_growth_without_changing_the_run() {
+        // Snapshot-and-prune of the chain node's journal every N blocks
+        // must leave the run's observable behaviour untouched while
+        // keeping the live journal window bounded.
+        let mut config = base_config();
+        config.total_requests = 80;
+        let plain_spec = ScenarioSpec::canonical(&config);
+        let compacted_spec = ScenarioSpec {
+            load: LoadProfile {
+                chain_compact_interval: 4,
+                ..LoadProfile::default()
+            },
+            ..plain_spec.clone()
+        };
+        let (plain, plain_truth) = run_scenario(&plain_spec, &mut NoAdversary);
+        let (compacted, compacted_truth) = run_scenario(&compacted_spec, &mut NoAdversary);
+        assert!(compacted.journal_compactions > 0);
+        assert_eq!(plain_truth, compacted_truth);
+        assert_eq!(plain.requests_completed, compacted.requests_completed);
+        assert_eq!(plain.groups_completed, compacted.groups_completed);
+        assert_eq!(plain.txs_committed, compacted.txs_committed);
+        assert_eq!(plain.finished_at, compacted.finished_at);
+        assert!(
+            compacted.peak.chain_journal_records < plain.peak.chain_journal_records,
+            "compacted {} vs plain {}",
+            compacted.peak.chain_journal_records,
+            plain.peak.chain_journal_records
+        );
     }
 }

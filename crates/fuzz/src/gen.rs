@@ -12,7 +12,10 @@ use drams_attack::{FaultWindow, ScriptedAdversary, ThreatKind, WindowedAdversary
 use drams_core::adversary::{Adversary, NoAdversary};
 use drams_core::logent::LogEntry;
 use drams_core::monitor::MonitorConfig;
-use drams_core::scenario::{CrashTarget, PdpPlacement, Phase, ScenarioSpec, ScriptedAction};
+use drams_core::scenario::{
+    CrashTarget, DiurnalBand, FlashCrowd, LoadProfile, PdpPlacement, Phase, ScenarioSpec,
+    ScriptedAction, MIN_RETENTION,
+};
 use drams_faas::des::{SimTime, MILLIS};
 use drams_faas::fault::{FaultPlan, LinkFault, PartitionWindow, Site};
 use drams_faas::model::{CloudId, FederationSpec, TenantId};
@@ -29,10 +32,12 @@ use rand::{Rng, SeedableRng};
 
 /// Seeds below this value enumerate every attack family deterministically
 /// (4 chain attacks, 9 campaign threats, honest, honest+crash,
-/// campaign+crash, honest+faults, campaign+crash+faults); any seed
-/// budget containing `0..COVERAGE_PRELUDE` covers the whole threat
-/// matrix, with and without a network fault plan underneath.
-pub const COVERAGE_PRELUDE: u64 = 18;
+/// campaign+crash, honest+faults, campaign+crash+faults, honest under an
+/// overload profile, and a campaign with an in-window crash under an
+/// overload profile); any seed budget containing `0..COVERAGE_PRELUDE`
+/// covers the whole threat matrix — with and without a network fault
+/// plan or a population/overload profile underneath.
+pub const COVERAGE_PRELUDE: u64 = 20;
 
 /// The Byzantine chain-node attack families (script-injected, as opposed
 /// to the hook-injected [`ThreatKind`] campaigns).
@@ -277,13 +282,24 @@ enum Class {
     Honest {
         crash: bool,
         faults: bool,
+        overload: bool,
     },
     Campaign {
         kind: ThreatKind,
         crash: bool,
         faults: bool,
+        overload: bool,
     },
     Chain(ChainAttackKind),
+}
+
+impl Class {
+    fn overload(self) -> bool {
+        match self {
+            Class::Honest { overload, .. } | Class::Campaign { overload, .. } => overload,
+            Class::Chain(_) => false,
+        }
+    }
 }
 
 fn ms(v: u64) -> SimTime {
@@ -373,6 +389,7 @@ pub fn generate(seed: u64) -> FuzzCase {
         Class::Honest {
             crash,
             faults: with_faults,
+            ..
         } => {
             if crash {
                 script.push(crash_action(&mut rng, clouds, None));
@@ -386,6 +403,7 @@ pub fn generate(seed: u64) -> FuzzCase {
             kind,
             crash,
             faults: with_faults,
+            ..
         } => {
             // The policy swap happens at deployment time, so its window
             // must cover virtual time 0 to fire at all.
@@ -435,24 +453,40 @@ pub fn generate(seed: u64) -> FuzzCase {
         }
     };
 
+    // --- overload profile ---------------------------------------------------
+    // Drawn only for overload classes, so every other seed's RNG
+    // sequence (and thus its generated case) is untouched.
+    let load = if class.overload() {
+        load_profile(&mut rng)
+    } else {
+        LoadProfile::default()
+    };
+
     script.sort_by_key(ScriptedAction::at);
     // Put the class into the seed's name so shrunk reproductions and
     // trajectory tables stay self-describing.
     let label = match class {
-        Class::Honest { crash, faults } => format!(
-            "honest{}{}",
+        Class::Honest {
+            crash,
+            faults,
+            overload,
+        } => format!(
+            "honest{}{}{}",
             if crash { "_crash" } else { "" },
-            if faults { "_faults" } else { "" }
+            if faults { "_faults" } else { "" },
+            if overload { "_load" } else { "" }
         ),
         Class::Campaign {
             kind,
             crash,
             faults,
+            overload,
         } => format!(
-            "{}{}{}",
+            "{}{}{}{}",
             kind.name(),
             if crash { "_crash" } else { "" },
-            if faults { "_faults" } else { "" }
+            if faults { "_faults" } else { "" },
+            if overload { "_load" } else { "" }
         ),
         Class::Chain(kind) => kind.name().to_string(),
     };
@@ -466,8 +500,48 @@ pub fn generate(seed: u64) -> FuzzCase {
             placement,
             script,
             faults,
+            load,
         },
         plan,
+    }
+}
+
+/// A bounded overload profile: a Zipf-skewed virtual population, one
+/// diurnal step, one in-window flash-crowd spike, and small caps on
+/// every bounded pool. Every knob stays inside the clamp bands of
+/// [`LoadProfile::clamped`], and retention windows only ever use
+/// [`MIN_RETENTION`] — eviction can never race the retry budget, so an
+/// honest overloaded run must still end with zero alerts.
+fn load_profile(rng: &mut StdRng) -> LoadProfile {
+    let spike_from = rng.gen_range(200u64..900);
+    let step_at = rng.gen_range(300u64..1000);
+    LoadProfile {
+        population: rng.gen_range(200..=2000),
+        zipf_exponent: f64::from(rng.gen_range(6u32..=14)) / 10.0,
+        diurnal: vec![
+            DiurnalBand {
+                start: 0,
+                multiplier_permille: 1000,
+            },
+            DiurnalBand {
+                start: ms(step_at),
+                multiplier_permille: rng.gen_range(500..=2000),
+            },
+        ],
+        spikes: vec![FlashCrowd {
+            from: ms(spike_from),
+            until: ms(spike_from + rng.gen_range(200u64..=800)),
+            multiplier_permille: rng.gen_range(2000..=8000),
+        }],
+        pep_inflight_cap: rng.gen_range(8..=64),
+        li_resident_cap: rng.gen_range(32..=256),
+        idempotency_retention: if rng.gen_bool(0.5) { MIN_RETENTION } else { 0 },
+        analyser_retire_lag: if rng.gen_bool(0.5) { MIN_RETENTION } else { 0 },
+        chain_compact_interval: if rng.gen_bool(0.5) {
+            rng.gen_range(4..=16)
+        } else {
+            0
+        },
     }
 }
 
@@ -476,7 +550,9 @@ pub fn generate(seed: u64) -> FuzzCase {
 /// honest, `14` honest with a chain-node crash, `15` a drop-log campaign
 /// with a crash inside its attack window, `16` honest over a network
 /// fault plan, `17` a tamper-request campaign with both a fault plan
-/// underneath and a crash inside the attack window.
+/// underneath and a crash inside the attack window, `18` honest under an
+/// overload profile (shedding must not alert), `19` a drop-log campaign
+/// with an in-window crash under an overload profile.
 fn directed_class(seed: u64) -> Class {
     match seed {
         0..=3 => Class::Chain(ChainAttackKind::ALL[seed as usize]),
@@ -484,28 +560,45 @@ fn directed_class(seed: u64) -> Class {
             kind: ThreatKind::ALL[(seed - 4) as usize],
             crash: false,
             faults: false,
+            overload: false,
         },
         13 => Class::Honest {
             crash: false,
             faults: false,
+            overload: false,
         },
         14 => Class::Honest {
             crash: true,
             faults: false,
+            overload: false,
         },
         15 => Class::Campaign {
             kind: ThreatKind::DropLog,
             crash: true,
             faults: false,
+            overload: false,
         },
         16 => Class::Honest {
             crash: false,
             faults: true,
+            overload: false,
         },
-        _ => Class::Campaign {
+        17 => Class::Campaign {
             kind: ThreatKind::TamperRequest,
             crash: true,
             faults: true,
+            overload: false,
+        },
+        18 => Class::Honest {
+            crash: false,
+            faults: false,
+            overload: true,
+        },
+        _ => Class::Campaign {
+            kind: ThreatKind::DropLog,
+            crash: true,
+            faults: false,
+            overload: true,
         },
     }
 }
@@ -515,11 +608,13 @@ fn random_class(rng: &mut StdRng) -> Class {
         0..=2 => Class::Honest {
             crash: rng.gen_bool(0.4),
             faults: rng.gen_bool(0.35),
+            overload: rng.gen_bool(0.2),
         },
         3..=7 => Class::Campaign {
             kind: ThreatKind::ALL[rng.gen_range(0..ThreatKind::ALL.len())],
             crash: rng.gen_bool(0.25),
             faults: rng.gen_bool(0.3),
+            overload: rng.gen_bool(0.15),
         },
         _ => Class::Chain(ChainAttackKind::ALL[rng.gen_range(0..ChainAttackKind::ALL.len())]),
     }

@@ -66,6 +66,7 @@ pub fn strip_crashes(spec: &ScenarioSpec) -> ScenarioSpec {
             .cloned()
             .collect(),
         faults: spec.faults.clone(),
+        load: spec.load.clone(),
     }
 }
 

@@ -14,7 +14,7 @@
 //! pastes straight into a regression test.
 
 use crate::gen::{AttackPlan, FuzzCase};
-use drams_core::scenario::{CrashTarget, ScenarioSpec, ScriptedAction};
+use drams_core::scenario::{CrashTarget, LoadProfile, ScenarioSpec, ScriptedAction};
 use std::fmt::Write as _;
 
 /// Shrinks `case` to a locally-minimal failing case: the returned case
@@ -29,6 +29,18 @@ pub fn shrink<F: Fn(&FuzzCase) -> bool>(case: &FuzzCase, still_fails: F) -> Fuzz
     let mut best = case.clone();
     loop {
         let mut improved = false;
+
+        // Try stripping the overload profile first: it multiplies the
+        // request volume and arms every bounded-state mechanism, so a
+        // violation that survives without it shrinks far faster.
+        if !best.spec.load.is_empty() {
+            let mut candidate = best.clone();
+            candidate.spec.load = LoadProfile::default();
+            if still_fails(&candidate) {
+                best = candidate;
+                continue;
+            }
+        }
 
         // Try dropping each script action, shortest-lived candidate
         // first (indices re-checked every pass because earlier drops
@@ -215,11 +227,19 @@ pub fn render_rust(case: &FuzzCase) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "// Minimal reproduction of fuzz seed {}.", case.seed);
     let _ = writeln!(out, "use drams_attack::ThreatKind;");
-    let _ = writeln!(
-        out,
-        "use drams_core::scenario::{{run_scenario, CrashTarget, Phase, PdpPlacement, \
-         ScenarioSpec, ScriptedAction}};"
-    );
+    if spec.load.is_empty() {
+        let _ = writeln!(
+            out,
+            "use drams_core::scenario::{{run_scenario, CrashTarget, LoadProfile, Phase, \
+             PdpPlacement, ScenarioSpec, ScriptedAction}};"
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "use drams_core::scenario::{{run_scenario, CrashTarget, DiurnalBand, FlashCrowd, \
+             LoadProfile, Phase, PdpPlacement, ScenarioSpec, ScriptedAction}};"
+        );
+    }
     let _ = writeln!(out, "use drams_core::monitor::MonitorConfig;");
     let _ = writeln!(
         out,
@@ -309,6 +329,50 @@ pub fn render_rust(case: &FuzzCase) -> String {
             );
         }
         let _ = writeln!(out, "        ],");
+        let _ = writeln!(out, "    }},");
+    }
+    if spec.load.is_empty() {
+        let _ = writeln!(out, "    load: LoadProfile::default(),");
+    } else {
+        let load = &spec.load;
+        let _ = writeln!(out, "    load: LoadProfile {{");
+        let _ = writeln!(out, "        population: {},", load.population);
+        let _ = writeln!(out, "        zipf_exponent: {:?},", load.zipf_exponent);
+        let _ = writeln!(out, "        diurnal: vec![");
+        for band in &load.diurnal {
+            let _ = writeln!(
+                out,
+                "            DiurnalBand {{ start: {}, multiplier_permille: {} }},",
+                band.start, band.multiplier_permille
+            );
+        }
+        let _ = writeln!(out, "        ],");
+        let _ = writeln!(out, "        spikes: vec![");
+        for spike in &load.spikes {
+            let _ = writeln!(
+                out,
+                "            FlashCrowd {{ from: {}, until: {}, multiplier_permille: {} }},",
+                spike.from, spike.until, spike.multiplier_permille
+            );
+        }
+        let _ = writeln!(out, "        ],");
+        let _ = writeln!(out, "        pep_inflight_cap: {},", load.pep_inflight_cap);
+        let _ = writeln!(out, "        li_resident_cap: {},", load.li_resident_cap);
+        let _ = writeln!(
+            out,
+            "        idempotency_retention: {},",
+            load.idempotency_retention
+        );
+        let _ = writeln!(
+            out,
+            "        analyser_retire_lag: {},",
+            load.analyser_retire_lag
+        );
+        let _ = writeln!(
+            out,
+            "        chain_compact_interval: {},",
+            load.chain_compact_interval
+        );
         let _ = writeln!(out, "    }},");
     }
     let _ = writeln!(out, "}};");

@@ -20,21 +20,60 @@ use crate::decision::Response;
 use crate::policy::PolicySet;
 use drams_crypto::codec::Encode;
 use drams_crypto::sha256::Digest;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex};
 
 /// Default decision-cache capacity (responses). See
 /// [`Pdp::with_cache_capacity`] to tune or disable.
 pub const DEFAULT_CACHE_CAPACITY: usize = 4096;
 
+/// LRU state: responses keyed by digest, each stamped with a recency
+/// tick, plus the tick→digest index that makes the oldest entry O(log n)
+/// to find. Ticks are unique (monotone counter), so the index is a map,
+/// not a multimap.
+#[derive(Debug, Default)]
+struct LruState {
+    map: HashMap<Digest, (Response, u64)>,
+    recency: BTreeMap<u64, Digest>,
+    tick: u64,
+}
+
+impl LruState {
+    fn touch(&mut self, digest: Digest) -> Option<Response> {
+        let (response, stamp) = self.map.get_mut(&digest)?;
+        let response = response.clone();
+        self.recency.remove(&std::mem::replace(stamp, self.tick));
+        self.recency.insert(self.tick, digest);
+        self.tick += 1;
+        Some(response)
+    }
+
+    fn insert(&mut self, digest: Digest, response: Response, capacity: usize) -> u64 {
+        let mut evicted = 0;
+        while self.map.len() >= capacity {
+            let Some((_, oldest)) = self.recency.pop_first() else {
+                break;
+            };
+            self.map.remove(&oldest);
+            evicted += 1;
+        }
+        self.map.insert(digest, (response, self.tick));
+        self.recency.insert(self.tick, digest);
+        self.tick += 1;
+        evicted
+    }
+}
+
 /// Memoised responses keyed by request digest, valid for exactly one
-/// policy version.
+/// policy version. True LRU: every hit refreshes the entry's recency,
+/// and a full cache evicts exactly the least-recently-used entry.
 #[derive(Debug, Default)]
 struct DecisionCache {
-    map: RwLock<HashMap<Digest, Response>>,
+    lru: Mutex<LruState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A Policy Decision Point bound to one root policy set.
@@ -154,21 +193,21 @@ impl Pdp {
             return Response::new(extended, obligations);
         }
         let digest = request.canonical_digest();
-        if let Some(hit) = self.cache.map.read().expect("cache lock").get(&digest) {
+        if let Some(hit) = self.cache.lru.lock().expect("cache lock").touch(digest) {
             self.cache.hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return hit;
         }
         self.cache.misses.fetch_add(1, Ordering::Relaxed);
         let (extended, obligations) = self.prepared.evaluate(request);
         let response = Response::new(extended, obligations);
-        let mut map = self.cache.map.write().expect("cache lock");
-        if map.len() >= self.cache_capacity {
-            // Wholesale eviction keeps the cache allocation-free on the
-            // hot path; a full cycle is rare at the default capacity.
-            map.clear();
+        let evicted = self.cache.lru.lock().expect("cache lock").insert(
+            digest,
+            response.clone(),
+            self.cache_capacity,
+        );
+        if evicted > 0 {
+            self.cache.evictions.fetch_add(evicted, Ordering::Relaxed);
         }
-        map.insert(digest, response.clone());
-        drop(map);
         response
     }
 
@@ -196,6 +235,18 @@ impl Pdp {
             self.cache.hits.load(Ordering::Relaxed),
             self.cache.misses.load(Ordering::Relaxed),
         )
+    }
+
+    /// Responses currently held in the decision cache.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.cache.lru.lock().expect("cache lock").map.len()
+    }
+
+    /// Responses evicted (LRU) since the last policy change.
+    #[must_use]
+    pub fn cache_evictions(&self) -> u64 {
+        self.cache.evictions.load(Ordering::Relaxed)
     }
 }
 
@@ -317,6 +368,42 @@ mod tests {
             assert_eq!(pdp.evaluate(&doctor).decision, Decision::Permit);
             assert_eq!(pdp.evaluate(&nurse).decision, Decision::Deny);
         }
+        assert_eq!(
+            pdp.cache_evictions(),
+            5,
+            "each insert past the first evicts"
+        );
+        assert_eq!(pdp.cache_len(), 1);
+    }
+
+    #[test]
+    fn lru_keeps_the_hot_entry_under_cold_churn() {
+        // Capacity 2: one hot request re-touched between every cold miss
+        // must never be evicted — churn only cycles the cold slot.
+        let pdp = role_pdp(2);
+        let hot = Request::builder().subject("role", "doctor").build();
+        let _ = pdp.evaluate(&hot);
+        for i in 0..8 {
+            let cold = Request::builder()
+                .subject("role", format!("intern-{i}"))
+                .build();
+            let _ = pdp.evaluate(&cold);
+            let _ = pdp.evaluate(&hot); // refresh recency
+        }
+        let (hits, misses) = pdp.cache_stats();
+        assert_eq!(hits, 8, "the hot entry hit on every revisit");
+        assert_eq!(misses, 9, "1 hot miss + 8 distinct cold misses");
+        assert_eq!(pdp.cache_evictions(), 7, "only cold entries cycled out");
+    }
+
+    #[test]
+    fn eviction_counter_stays_zero_below_capacity() {
+        let pdp = role_pdp(DEFAULT_CACHE_CAPACITY);
+        for i in 0..16 {
+            let _ = pdp.evaluate(&Request::builder().subject("role", format!("r{i}")).build());
+        }
+        assert_eq!(pdp.cache_evictions(), 0);
+        assert_eq!(pdp.cache_len(), 16);
     }
 
     #[test]

@@ -60,5 +60,5 @@ pub use anchor::{AnchorContract, AnchoredStore, AuditOutcome, ANCHOR_CONTRACT};
 pub use backend::{Backend, Durability, FsBackend, MemBackend};
 pub use error::StoreError;
 pub use kvlog::{KvLog, Segment};
-pub use persist::{recover_node, WalJournal};
+pub use persist::{compact_node_journal, recover_node, WalJournal};
 pub use wal::{SnapshotStore, Wal, WalConfig};

@@ -98,10 +98,133 @@ impl NodeJournal for WalJournal {
     }
 }
 
+/// Replays one tagged journal record into `node`. `label` names the
+/// record in error messages (a WAL sequence number or a snapshot index).
+fn replay_record(node: &mut Node, label: &str, record: &[u8]) -> Result<(), StoreError> {
+    let Some((&tag, payload)) = record.split_first() else {
+        return Err(StoreError::Codec(format!("empty journal record {label}")));
+    };
+    match tag {
+        TAG_TX => {
+            let tx = Transaction::from_canonical_bytes(payload)
+                .map_err(|e| StoreError::Codec(format!("journal record {label}: {e}")))?;
+            match node.submit_transaction(tx) {
+                Ok(_) | Err(ChainError::DuplicateTransaction) => Ok(()),
+                Err(e) => Err(StoreError::Codec(format!(
+                    "journal record {label} does not replay: {e}"
+                ))),
+            }
+        }
+        TAG_BLOCK => {
+            let block = Block::from_canonical_bytes(payload)
+                .map_err(|e| StoreError::Codec(format!("journal record {label}: {e}")))?;
+            node.receive_block(block).map(|_| ()).map_err(|e| {
+                StoreError::Codec(format!("journal record {label} does not replay: {e}"))
+            })
+        }
+        other => Err(StoreError::Codec(format!(
+            "journal record {label} has unknown tag {other}"
+        ))),
+    }
+}
+
+/// Decodes a packed compaction snapshot (see [`compact_node_journal`])
+/// into the journal records it folded.
+fn unpack_records(payload: &[u8]) -> Result<Vec<Vec<u8>>, StoreError> {
+    let mut records = Vec::new();
+    let mut rest = payload;
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(StoreError::Codec("truncated journal snapshot".into()));
+        }
+        let len = u32::from_be_bytes(rest[..4].try_into().expect("length checked")) as usize;
+        rest = &rest[4..];
+        if rest.len() < len {
+            return Err(StoreError::Codec(
+                "truncated journal snapshot record".into(),
+            ));
+        }
+        records.push(rest[..len].to_vec());
+        rest = &rest[len..];
+    }
+    Ok(records)
+}
+
+fn pack_records<'a>(records: impl IntoIterator<Item = &'a Vec<u8>>) -> Vec<u8> {
+    let mut out = Vec::new();
+    for record in records {
+        out.extend_from_slice(&(record.len() as u32).to_be_bytes());
+        out.extend_from_slice(record);
+    }
+    out
+}
+
+/// The effective journal stream: records folded into the compaction
+/// snapshot (if any) followed by the live WAL tail.
+fn effective_records(wal: &Wal) -> Result<Vec<Vec<u8>>, StoreError> {
+    let (base_seq, mut records) = match wal.read_snapshot()? {
+        Some((seq, payload)) => (seq, unpack_records(&payload)?),
+        None => (0, Vec::new()),
+    };
+    records.extend(wal.replay_from(base_seq)?.into_iter().map(|(_, r)| r));
+    Ok(records)
+}
+
+/// Compacts a node journal in place: transaction records whose
+/// transaction was later included in a journaled block are redundant
+/// (the block replays them), so they are dropped; everything that
+/// remains — blocks in order plus still-pending transactions — is folded
+/// into the WAL's snapshot file and the sealed segments behind it are
+/// pruned. Recovery through [`recover_node`] is unchanged by compaction:
+/// it replays the snapshot records before the live tail.
+///
+/// Returns `(records_before, records_after)`.
+///
+/// # Errors
+///
+/// As [`recover_node`] for a damaged WAL or snapshot; [`StoreError::Io`]
+/// on backend failure while writing.
+pub fn compact_node_journal(wal: &mut Wal) -> Result<(u64, u64), StoreError> {
+    use drams_chain::tx::TxId;
+    use std::collections::BTreeSet;
+
+    let records = effective_records(wal)?;
+    let mut included: BTreeSet<TxId> = BTreeSet::new();
+    for record in &records {
+        if let Some((&TAG_BLOCK, payload)) = record.split_first() {
+            let block = Block::from_canonical_bytes(payload)
+                .map_err(|e| StoreError::Codec(format!("journal block record: {e}")))?;
+            included.extend(
+                block
+                    .transactions
+                    .iter()
+                    .map(drams_chain::tx::Transaction::id),
+            );
+        }
+    }
+    let kept: Vec<&Vec<u8>> = records
+        .iter()
+        .filter(|record| match record.split_first() {
+            Some((&TAG_TX, payload)) => Transaction::from_canonical_bytes(payload)
+                .map(|tx| !included.contains(&tx.id()))
+                .unwrap_or(true),
+            _ => true,
+        })
+        .collect();
+    let after = kept.len() as u64;
+    let packed = pack_records(kept.into_iter());
+    let upto = wal.next_seq();
+    wal.write_snapshot(upto, &packed)?;
+    wal.prune_through(upto)?;
+    Ok((records.len() as u64, after))
+}
+
 /// Rebuilds a node from its journal: a fresh node with `config` and
 /// `contracts` registered, then every journaled record replayed in
-/// order. The returned node carries **no** journal — attach one (over
-/// the same WAL) with [`Node::set_journal`] to keep journaling.
+/// order — records folded into a compaction snapshot (see
+/// [`compact_node_journal`]) first, then the live WAL tail. The returned
+/// node carries **no** journal — attach one (over the same WAL) with
+/// [`Node::set_journal`] to keep journaling.
 ///
 /// Replay tolerates exactly the benign duplicates write-ahead journaling
 /// produces (a transaction journaled but then rejected by the mempool,
@@ -123,36 +246,15 @@ pub fn recover_node(
     for contract in contracts {
         node.register_contract(contract);
     }
-    for (seq, record) in wal.replay()? {
-        let Some((&tag, payload)) = record.split_first() else {
-            return Err(StoreError::Codec(format!("empty journal record {seq}")));
-        };
-        match tag {
-            TAG_TX => {
-                let tx = Transaction::from_canonical_bytes(payload)
-                    .map_err(|e| StoreError::Codec(format!("journal record {seq}: {e}")))?;
-                match node.submit_transaction(tx) {
-                    Ok(_) | Err(ChainError::DuplicateTransaction) => {}
-                    Err(e) => {
-                        return Err(StoreError::Codec(format!(
-                            "journal record {seq} does not replay: {e}"
-                        )))
-                    }
-                }
-            }
-            TAG_BLOCK => {
-                let block = Block::from_canonical_bytes(payload)
-                    .map_err(|e| StoreError::Codec(format!("journal record {seq}: {e}")))?;
-                node.receive_block(block).map_err(|e| {
-                    StoreError::Codec(format!("journal record {seq} does not replay: {e}"))
-                })?;
-            }
-            other => {
-                return Err(StoreError::Codec(format!(
-                    "journal record {seq} has unknown tag {other}"
-                )))
-            }
-        }
+    let (base_seq, snapshot_records) = match wal.read_snapshot()? {
+        Some((seq, payload)) => (seq, unpack_records(&payload)?),
+        None => (0, Vec::new()),
+    };
+    for (i, record) in snapshot_records.iter().enumerate() {
+        replay_record(&mut node, &format!("snapshot[{i}]"), record)?;
+    }
+    for (seq, record) in wal.replay_from(base_seq)? {
+        replay_record(&mut node, &seq.to_string(), &record)?;
     }
     Ok(node)
 }
@@ -271,6 +373,66 @@ mod tests {
         drop(recovered);
 
         // A second recovery sees the whole combined history.
+        let again = recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        assert_eq!(again.chain().tip_hash(), tip);
+        assert_eq!(again.chain().tip_header().height, 2);
+    }
+
+    #[test]
+    fn compaction_drops_included_tx_records_and_recovery_is_unchanged() {
+        let (mut node, wal) = journaled_node();
+        let kp = Keypair::from_seed(b"persist-tests");
+        for i in 0..6 {
+            node.submit_call(&kp, "kvstore", "put", format!("e{i}").into_bytes())
+                .unwrap();
+            node.mine_block(1_000 + i).unwrap();
+        }
+        // One pending tx must survive compaction verbatim.
+        node.submit_call(&kp, "kvstore", "put", b"pending".to_vec())
+            .unwrap();
+        let tip = node.chain().tip_hash();
+        let events = node.events().len();
+        drop(node);
+
+        let (before, after) = compact_node_journal(&mut wal.borrow_mut()).unwrap();
+        // 7 tx records + 6 block records journaled; the 6 included tx
+        // records fold away, the pending one and every block stay.
+        assert_eq!(before, 13);
+        assert_eq!(after, 7);
+        assert_eq!(wal.borrow().segment_count(), 1, "sealed segments pruned");
+
+        let recovered =
+            recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        assert_eq!(recovered.chain().tip_hash(), tip);
+        assert_eq!(recovered.events().len(), events);
+        assert_eq!(recovered.mempool_len(), 1, "pending tx survives compaction");
+    }
+
+    #[test]
+    fn compaction_is_idempotent_and_composes_with_later_appends() {
+        let (mut node, wal) = journaled_node();
+        let kp = Keypair::from_seed(b"persist-tests");
+        node.submit_call(&kp, "kvstore", "put", b"a".to_vec())
+            .unwrap();
+        node.mine_block(1).unwrap();
+        drop(node);
+
+        compact_node_journal(&mut wal.borrow_mut()).unwrap();
+        let (before, after) = compact_node_journal(&mut wal.borrow_mut()).unwrap();
+        assert_eq!(before, after, "second pass finds nothing to fold");
+
+        // New activity after compaction lands in the live tail and a
+        // second compaction folds it too.
+        let mut node =
+            recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
+        node.set_journal(Box::new(WalJournal::new(wal.clone())));
+        node.submit_call(&kp, "kvstore", "put", b"b".to_vec())
+            .unwrap();
+        node.mine_block(2).unwrap();
+        let tip = node.chain().tip_hash();
+        drop(node);
+        compact_node_journal(&mut wal.borrow_mut()).unwrap();
+        wal.borrow_mut().simulate_crash().unwrap();
         let again = recover_node(&wal.borrow(), config(), vec![Box::new(KvStoreContract)]).unwrap();
         assert_eq!(again.chain().tip_hash(), tip);
         assert_eq!(again.chain().tip_header().height, 2);
