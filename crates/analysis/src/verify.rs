@@ -265,6 +265,25 @@ impl DecisionVerifier {
         self.verify_versioned_inner(request, claimed, claimed_version, Some(decided_at))
     }
 
+    /// Drops authorised-history versions retired strictly before
+    /// `horizon`, returning how many were removed. The active version is
+    /// never dropped (its `retired_at` is `None`).
+    ///
+    /// This is the retention bound for long-lived federations under
+    /// policy churn: once every decision that could legitimately cite a
+    /// version has been checked (the caller derives `horizon` from its
+    /// oldest unretired observation epoch minus the retry/settle
+    /// retention floor), keeping the compiled version around only grows
+    /// the history without bound. Decisions citing a pruned version are
+    /// subsequently reported as [`Violation::WrongPolicyVersion`] —
+    /// exactly what a PDP stuck on a long-retired version deserves.
+    pub fn prune_history(&mut self, horizon: u64) -> usize {
+        let before = self.history.len();
+        self.history
+            .retain(|_, (_, retired_at)| retired_at.is_none_or(|t| t >= horizon));
+        before - self.history.len()
+    }
+
     fn verify_versioned_inner(
         &self,
         request: &Request,
@@ -457,6 +476,50 @@ mod tests {
             verifier.verify_versioned_at(&doctor(), &v1_response, v1, 3_000),
             Verdict::Violation(Violation::WrongPolicyVersion { .. })
         ));
+    }
+
+    #[test]
+    fn prune_history_drops_long_retired_versions_only() {
+        let mut verifier = DecisionVerifier::new(policy());
+        let v0 = verifier.authorised_version();
+        let v0_response = verifier.expected_response(&doctor());
+        let mid = PolicySet::builder("root2", CombiningAlg::PermitUnlessDeny).build();
+        verifier.publish_policy(mid, 1_000);
+        let v1 = verifier.authorised_version();
+        let newest = PolicySet::builder("root3", CombiningAlg::DenyUnlessPermit).build();
+        verifier.publish_policy(newest, 2_000);
+        assert_eq!(verifier.authorised_version_count(), 3);
+
+        // Horizon below every retirement: nothing to drop.
+        assert_eq!(verifier.prune_history(500), 0);
+        // Horizon past v0's retirement (1_000) but not v1's (2_000).
+        assert_eq!(verifier.prune_history(1_500), 1);
+        assert!(!verifier.is_authorised_version(&v0));
+        assert!(verifier.is_authorised_version(&v1));
+        // A decision citing the pruned version is now a reported swap,
+        // even in-flight.
+        assert!(matches!(
+            verifier.verify_versioned_at(&doctor(), &v0_response, v0, 900),
+            Verdict::Violation(Violation::WrongPolicyVersion { .. })
+        ));
+        // The active version survives any horizon.
+        assert_eq!(verifier.prune_history(u64::MAX), 1);
+        assert_eq!(verifier.authorised_version_count(), 1);
+        assert!(verifier.is_authorised_version(&verifier.authorised_version()));
+    }
+
+    #[test]
+    fn prune_history_spares_reactivated_rollback_versions() {
+        let mut verifier = DecisionVerifier::new(policy());
+        let v0 = verifier.authorised_version();
+        let mid = PolicySet::builder("root2", CombiningAlg::PermitUnlessDeny).build();
+        verifier.publish_policy(mid, 1_000);
+        // Roll back: v0 is active again, so its old retirement must not
+        // count against it.
+        verifier.publish_policy(policy(), 2_000);
+        assert_eq!(verifier.authorised_version(), v0);
+        assert_eq!(verifier.prune_history(u64::MAX), 1); // drops only the mid version
+        assert!(verifier.is_authorised_version(&v0));
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use crate::error::ChainError;
 use crate::tx::Transaction;
 use drams_crypto::codec::{decode_seq, Decode, Encode, Reader, Writer};
-use drams_crypto::merkle::MerkleTree;
+use drams_crypto::merkle::{self, MerkleTree};
 use drams_crypto::sha256::Digest;
+use drams_faas::par;
 use serde::{Deserialize, Serialize};
 
 /// A block hash.
@@ -75,12 +76,48 @@ pub struct Block {
     pub transactions: Vec<Transaction>,
 }
 
+/// Minimum transaction count before block hashing/verification fans out
+/// across [`drams_faas::par`] workers: below this, thread-spawn overhead
+/// exceeds the hash/exponentiation work being split.
+const PAR_MIN_TXS: usize = 32;
+
 impl Block {
     /// Computes the Merkle root over a transaction list.
+    ///
+    /// Leaf hashing (one SHA-256 of each transaction's canonical bytes)
+    /// dominates and is pure per-transaction work, so wide blocks fan it
+    /// out across [`drams_faas::par`] workers; the tree is then assembled
+    /// level by level with [`drams_crypto::merkle::hash_level_chunk`]
+    /// over pair-aligned chunks. Results merge in submission order, so
+    /// the root is identical at any worker count.
     #[must_use]
     pub fn compute_tx_root(transactions: &[Transaction]) -> Digest {
-        let leaf_hashes: Vec<Digest> = transactions.iter().map(Transaction::id).collect();
-        MerkleTree::from_leaf_hashes(leaf_hashes).root()
+        let mut level: Vec<Digest> = par::map(transactions, PAR_MIN_TXS, Transaction::id);
+        if level.len() <= 1 {
+            return MerkleTree::from_leaf_hashes(level).root();
+        }
+        while level.len() > 1 {
+            let pair_count = level.len() / 2;
+            let (paired, rest) = level.split_at(pair_count * 2);
+            let mut next: Vec<Digest> = if pair_count >= PAR_MIN_TXS {
+                // One pair-aligned chunk per worker; the trailing odd
+                // node is promoted unchanged as in the serial builder.
+                let ranges = par::chunk_ranges(pair_count, par::workers());
+                let chunks: Vec<&[Digest]> = ranges
+                    .iter()
+                    .map(|r| &paired[r.start * 2..r.end * 2])
+                    .collect();
+                par::map(&chunks, 2, |c| merkle::hash_level_chunk(c))
+                    .into_iter()
+                    .flatten()
+                    .collect()
+            } else {
+                merkle::hash_level_chunk(paired)
+            };
+            next.extend_from_slice(rest);
+            level = next;
+        }
+        level[0]
     }
 
     /// Assembles and mines a block: iterates the nonce until the header
@@ -140,8 +177,12 @@ impl Block {
     /// Uses [`drams_crypto::schnorr::batch_verify`], which amortises
     /// per-key window tables across the block — blocks are dominated by
     /// a handful of Logging Interface identities, so this is the hot
-    /// import path. Exactly equivalent to verifying each transaction
-    /// individually.
+    /// import path. Wide blocks split the batch into one contiguous
+    /// chunk per [`drams_faas::par`] worker, verify chunks concurrently,
+    /// and merge verdicts with
+    /// [`drams_crypto::schnorr::merge_chunk_verdicts`] — exactly
+    /// equivalent to verifying each transaction individually, at any
+    /// worker count.
     ///
     /// # Errors
     ///
@@ -150,18 +191,27 @@ impl Block {
         if self.transactions.is_empty() {
             return Ok(());
         }
-        let messages: Vec<Vec<u8>> = self
-            .transactions
-            .iter()
-            .map(Transaction::signing_bytes)
-            .collect();
+        let messages: Vec<Vec<u8>> =
+            par::map(&self.transactions, PAR_MIN_TXS, Transaction::signing_bytes);
         let batch: Vec<_> = self
             .transactions
             .iter()
             .zip(&messages)
             .map(|(tx, msg)| (tx.sender, msg.as_slice(), tx.signature))
             .collect();
-        drams_crypto::schnorr::batch_verify(&batch).map_err(|_| ChainError::BadSignature)
+        if batch.len() < PAR_MIN_TXS {
+            return drams_crypto::schnorr::batch_verify(&batch)
+                .map_err(|_| ChainError::BadSignature);
+        }
+        let ranges = par::chunk_ranges(batch.len(), par::workers());
+        let chunks: Vec<(usize, &[_])> = ranges
+            .iter()
+            .map(|r| (r.start, &batch[r.start..r.end]))
+            .collect();
+        let verdicts = par::map(&chunks, 2, |&(start, chunk)| {
+            (start, drams_crypto::schnorr::batch_verify(chunk))
+        });
+        drams_crypto::schnorr::merge_chunk_verdicts(verdicts).map_err(|_| ChainError::BadSignature)
     }
 
     /// Total serialized size in bytes.
@@ -257,5 +307,44 @@ mod tests {
         let small = Block::mine(Digest::ZERO, 0, sample_txs(1), 0, 0);
         let big = Block::mine(Digest::ZERO, 0, sample_txs(8), 0, 0);
         assert!(big.wire_len() > small.wire_len());
+    }
+
+    #[test]
+    fn tx_root_and_verification_are_worker_count_invisible() {
+        // Wide enough to cross PAR_MIN_TXS so the parallel paths engage.
+        let txs = sample_txs(PAR_MIN_TXS * 2 + 5);
+        let mut bad = txs.clone();
+        bad[40].payload = b"forged".to_vec(); // signature no longer covers payload
+        let saved = par::workers();
+        let mut roots = Vec::new();
+        let mut verdicts = Vec::new();
+        for w in [1usize, 2, 4, 8] {
+            par::set_workers(w);
+            roots.push(Block::compute_tx_root(&txs));
+            let block = Block {
+                header: BlockHeader {
+                    parent: Digest::ZERO,
+                    height: 0,
+                    tx_root: Block::compute_tx_root(&txs),
+                    timestamp_ms: 0,
+                    difficulty_bits: 0,
+                    nonce: 0,
+                },
+                transactions: txs.clone(),
+            };
+            verdicts.push(block.verify_signatures().is_ok());
+            let bad_block = Block {
+                transactions: bad.clone(),
+                ..block
+            };
+            assert_eq!(
+                bad_block.verify_signatures(),
+                Err(ChainError::BadSignature),
+                "workers={w}"
+            );
+        }
+        par::set_workers(saved);
+        assert!(roots.windows(2).all(|p| p[0] == p[1]));
+        assert!(verdicts.iter().all(|&v| v));
     }
 }

@@ -36,6 +36,17 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 /// gets during a flash crowd.
 const RETIRE_BATCH_MAX: usize = 512;
 
+/// Minimum completed groups in one poll before group judging fans out
+/// across [`drams_faas::par`] workers (each judge job is MAC checks +
+/// two AEAD decrypts + a policy re-evaluation, ~tens of microseconds).
+const PAR_MIN_GROUPS: usize = 8;
+
+/// Minimum freshly committed blocks before the audit fans out one block
+/// per worker job; below this the inner chunked
+/// [`drams_chain::block::Block::verify_signatures`] parallelism is the
+/// better split.
+const PAR_MIN_BLOCKS: usize = 2;
+
 /// One recorded policy-administration action, kept so a verification
 /// checkpoint can replay the authorised-version history exactly.
 #[derive(Debug, Clone)]
@@ -49,8 +60,10 @@ enum PolicyLogEntry {
 /// Version byte of the checkpoint encoding. Version 2 added the fork
 /// sweep: its enable flag and the set of already-alerted fork points.
 /// Version 3 added windowed group retirement: the lag, the retired
-/// counter and the pending-retirement queue.
-const CHECKPOINT_VERSION: u8 = 3;
+/// counter and the pending-retirement queue. Version 4 added
+/// authorised-policy history retention: the retention horizon and the
+/// retired-version counter.
+const CHECKPOINT_VERSION: u8 = 4;
 
 /// The DRAMS Analyser.
 pub struct Analyser {
@@ -91,6 +104,11 @@ pub struct Analyser {
     pending_retire: VecDeque<(SimTime, CorrelationId)>,
     /// Correlations whose evidence retirement has been submitted on-chain.
     groups_retired: u64,
+    /// Authorised-policy history retention (see
+    /// [`Analyser::enable_history_retention`]). `0` = keep forever.
+    history_retention: SimTime,
+    /// Superseded policy versions dropped by the retention horizon.
+    policy_history_retired: u64,
 }
 
 impl std::fmt::Debug for Analyser {
@@ -133,7 +151,36 @@ impl Analyser {
             retire_lag: 0,
             pending_retire: VecDeque::new(),
             groups_retired: 0,
+            history_retention: 0,
+            policy_history_retired: 0,
         }
+    }
+
+    /// Turns on authorised-policy history retention: after each poll,
+    /// versions retired more than `retention` before the oldest unretired
+    /// observation epoch (or `now` when nothing is pending) are dropped
+    /// from the verifier's history and from the durable policy log —
+    /// the last unbounded structure under sustained policy churn.
+    /// `retention` must cover the longest a legitimately in-flight
+    /// decision can take to reach a completed group (the PEP retry
+    /// budget plus fault-settle slack); late decisions citing a pruned
+    /// version alert as policy swaps, which is the desired behaviour for
+    /// a PDP stuck that far in the past. Off by default.
+    pub fn enable_history_retention(&mut self, retention: SimTime) {
+        self.history_retention = retention;
+    }
+
+    /// Distinct authorised policy versions currently held (the bounded
+    /// gauge BENCH_LOAD tracks as `peak_policy_history`).
+    #[must_use]
+    pub fn policy_history_len(&self) -> usize {
+        self.verifier.authorised_version_count()
+    }
+
+    /// Superseded policy versions dropped by the retention horizon.
+    #[must_use]
+    pub fn policy_history_retired(&self) -> u64 {
+        self.policy_history_retired
     }
 
     /// Turns on windowed decision-group tracking: a group stays in
@@ -280,6 +327,8 @@ impl Analyser {
             w.put_u64(*checked_at);
             w.put_u64(corr.0);
         }
+        w.put_u64(self.history_retention);
+        w.put_u64(self.policy_history_retired);
         store.save(self.checked_groups, &w.into_bytes())
     }
 
@@ -354,6 +403,8 @@ impl Analyser {
             let corr = CorrelationId(r.get_u64().map_err(codec)?);
             pending_retire.push_back((checked_at, corr));
         }
+        let history_retention = r.get_u64().map_err(codec)?;
+        let policy_history_retired = r.get_u64().map_err(codec)?;
         r.finish().map_err(codec)?;
         analyser.event_cursor = event_cursor;
         analyser.checked_groups = checked_groups;
@@ -364,6 +415,8 @@ impl Analyser {
         analyser.retire_lag = retire_lag;
         analyser.groups_retired = groups_retired;
         analyser.pending_retire = pending_retire;
+        analyser.history_retention = history_retention;
+        analyser.policy_history_retired = policy_history_retired;
         analyser.checkpoint_store = Some(store);
         Ok(analyser)
     }
@@ -394,11 +447,28 @@ impl Analyser {
                 .collect()
         };
         let mut alerts = audit_alerts;
-        for corr in completed {
-            alerts.extend(self.check_group(node, corr, now));
+        // Load every completed group's entries serially (contract storage
+        // reads), then judge them — MAC verification, payload decryption
+        // and policy re-evaluation, all pure per-group work — across the
+        // worker pool. Alert vectors merge in submission (= completion
+        // event) order, so the poll's output is worker-count invisible.
+        let loaded: Vec<(CorrelationId, Option<BTreeMap<ObservationPoint, LogEntry>>)> = completed
+            .iter()
+            .map(|&corr| (corr, Self::load_group_entries(node, corr)))
+            .collect();
+        let verifier = &self.verifier;
+        let key = &self.key;
+        let probe_mac_keys = &self.probe_mac_keys;
+        let judged = drams_faas::par::map(&loaded, PAR_MIN_GROUPS, |(corr, entries)| {
+            entries.as_ref().map_or_else(Vec::new, |entries| {
+                Self::judge_group(verifier, key, probe_mac_keys, *corr, entries, now)
+            })
+        });
+        for ((corr, _), group_alerts) in loaded.iter().zip(judged) {
+            alerts.extend(group_alerts);
             self.checked_groups += 1;
             if self.retire_lag > 0 {
-                self.pending_retire.push_back((now, corr));
+                self.pending_retire.push_back((now, *corr));
             }
         }
         for alert in &alerts {
@@ -412,7 +482,39 @@ impl Analyser {
             );
         }
         self.retire_due_groups(node, now);
+        self.prune_policy_history(now);
         alerts
+    }
+
+    /// Drops policy versions (and their durable log prefix) retired
+    /// before the retention horizon; see
+    /// [`Analyser::enable_history_retention`].
+    fn prune_policy_history(&mut self, now: SimTime) {
+        if self.history_retention == 0 {
+            return;
+        }
+        // Any decision still able to reach a completed group was taken at
+        // or after the oldest unretired epoch minus the retention floor;
+        // versions retired before that can no longer be legitimately
+        // cited.
+        let reference = self.pending_retire.front().map_or(now, |&(t, _)| t);
+        let horizon = reference.saturating_sub(self.history_retention);
+        let removed = self.verifier.prune_history(horizon);
+        self.policy_history_retired += removed as u64;
+        // Keep the durable form in step: a log entry activated before the
+        // horizon retired its predecessor version before the horizon, so
+        // the prefix of such entries collapses into a new baseline policy
+        // (activation times are monotone — the prefix is well-defined).
+        let cut = self
+            .policy_log
+            .iter()
+            .position(|PolicyLogEntry::Publish(_, at)| *at >= horizon)
+            .unwrap_or(self.policy_log.len());
+        if cut > 0 {
+            let PolicyLogEntry::Publish(text, _) = &self.policy_log[cut - 1];
+            self.initial_policy = text.clone();
+            self.policy_log.drain(..cut);
+        }
     }
 
     /// Submits one `retire_groups` transaction for every checked group
@@ -470,17 +572,28 @@ impl Analyser {
             }
             cursor = block.header.parent;
         }
+        // Verify blocks across the worker pool, one job per block, oldest
+        // first (submission-order merge keeps alert order canonical).
+        // Single-block audits instead parallelise *inside*
+        // `verify_signatures` (chunked batch verification), so both the
+        // many-small-blocks and one-wide-block shapes use all workers.
+        let blocks: Vec<&drams_chain::block::Block> = pending
+            .iter()
+            .rev()
+            .map(|hash| chain.block(hash).expect("collected from the chain above"))
+            .collect();
+        let verdicts = drams_faas::par::map(&blocks, PAR_MIN_BLOCKS, |b| b.verify_signatures());
         let mut alerts = Vec::new();
-        for hash in pending.iter().rev() {
-            let block = chain.block(hash).expect("collected from the chain above");
+        for (block, verdict) in blocks.iter().zip(verdicts) {
             self.audited_txs += block.transactions.len() as u64;
-            if let Err(e) = block.verify_signatures() {
+            if let Err(e) = verdict {
                 alerts.push(Alert::new(
                     AlertKind::MonitorCompromise,
                     CorrelationId(0),
                     now,
                     format!(
-                        "block {hash} at height {} carries an invalid transaction signature: {e}",
+                        "block {} at height {} carries an invalid transaction signature: {e}",
+                        block.hash(),
                         block.header.height
                     ),
                 ));
@@ -538,23 +651,38 @@ impl Analyser {
         LogEntry::from_canonical_bytes(bytes).ok()
     }
 
-    fn check_group(&self, node: &Node, corr: CorrelationId, now: SimTime) -> Vec<Alert> {
-        let mut alerts = Vec::new();
+    /// Loads the four observation-point entries of a completed group from
+    /// contract storage; `None` when any is missing (group vanished —
+    /// cannot happen on an honest chain).
+    fn load_group_entries(
+        node: &Node,
+        corr: CorrelationId,
+    ) -> Option<BTreeMap<ObservationPoint, LogEntry>> {
         let mut entries = BTreeMap::new();
         for point in ObservationPoint::ALL {
-            match Self::load_entry(node, corr, point) {
-                Some(entry) => {
-                    entries.insert(point, entry);
-                }
-                None => return alerts, // group vanished (cannot happen on honest chain)
-            }
+            entries.insert(point, Self::load_entry(node, corr, point)?);
         }
+        Some(entries)
+    }
+
+    /// Judges one loaded group: MAC verification, payload decryption, the
+    /// formally-grounded re-evaluation and the enforcement cross-check.
+    /// Pure with respect to its borrowed state, so [`Analyser::poll`]
+    /// fans completed groups out across the worker pool.
+    fn judge_group(
+        verifier: &DecisionVerifier,
+        key: &SymmetricKey,
+        probe_mac_keys: &BTreeMap<ProbeId, [u8; 32]>,
+        corr: CorrelationId,
+        entries: &BTreeMap<ObservationPoint, LogEntry>,
+        now: SimTime,
+    ) -> Vec<Alert> {
+        let mut alerts = Vec::new();
 
         // MAC verification: a compromised LI cannot alter entries without
         // breaking the probe MAC.
         for entry in entries.values() {
-            let valid = self
-                .probe_mac_keys
+            let valid = probe_mac_keys
                 .get(&entry.probe)
                 .map(|k| entry.verify_mac(k))
                 .unwrap_or(false);
@@ -573,7 +701,7 @@ impl Analyser {
         let response_entry = &entries[&ObservationPoint::PdpResponse];
         let pep_response_entry = &entries[&ObservationPoint::PepResponse];
 
-        let Ok(request_plain) = decrypt_entry_payload(&self.key, request_entry) else {
+        let Ok(request_plain) = decrypt_entry_payload(key, request_entry) else {
             alerts.push(Alert::new(
                 AlertKind::MonitorCompromise,
                 corr,
@@ -582,7 +710,7 @@ impl Analyser {
             ));
             return alerts;
         };
-        let Ok(response_plain) = decrypt_entry_payload(&self.key, response_entry) else {
+        let Ok(response_plain) = decrypt_entry_payload(key, response_entry) else {
             alerts.push(Alert::new(
                 AlertKind::MonitorCompromise,
                 corr,
@@ -600,7 +728,7 @@ impl Analyser {
 
         // The formally-grounded check: re-evaluate and compare, against
         // the version that was authorised *when the decision was taken*.
-        match self.verifier.verify_versioned_at(
+        match verifier.verify_versioned_at(
             &request_env.request,
             &response_env.response,
             response_env.policy_version,
@@ -627,7 +755,7 @@ impl Analyser {
 
         // Enforcement cross-check: the PEP-side payload carries what the
         // PEP actually did.
-        if let Ok(pep_plain) = decrypt_entry_payload(&self.key, pep_response_entry) {
+        if let Ok(pep_plain) = decrypt_entry_payload(key, pep_response_entry) {
             if let Some((&granted_byte, env_bytes)) = pep_plain.split_last() {
                 if let Ok(enforced_env) = ResponseEnvelope::from_canonical_bytes(env_bytes) {
                     let granted = granted_byte == 1;
@@ -1067,6 +1195,119 @@ mod tests {
         r.node.mine_block(9_000).unwrap();
         let storage = r.node.host().storage_of(MONITOR_CONTRACT).unwrap();
         assert_eq!(storage.scan_prefix(b"ent/").count(), 0);
+    }
+
+    #[test]
+    fn history_retention_prunes_churned_policy_versions() {
+        let mut r = rig();
+        r.analyser.enable_history_retention(10_000);
+        // Churn: three successive, genuinely distinct authorised versions.
+        r.analyser
+            .publish_authorised_policy(crate::monitor::default_policy(), 1_000);
+        r.analyser.publish_authorised_policy(
+            PolicySet::builder("root3", CombiningAlg::PermitUnlessDeny).build(),
+            2_000,
+        );
+        assert_eq!(r.analyser.policy_history_len(), 3);
+        // Horizon (now - 10s) still before both retirements: all kept.
+        r.analyser.poll(&mut r.node, 5_000);
+        assert_eq!(r.analyser.policy_history_len(), 3);
+        assert_eq!(r.analyser.policy_history_retired(), 0);
+        // Past the first retirement (1_000) only.
+        r.analyser.poll(&mut r.node, 11_500);
+        assert_eq!(r.analyser.policy_history_len(), 2);
+        assert_eq!(r.analyser.policy_history_retired(), 1);
+        // Far past everything: only the active version survives.
+        r.analyser.poll(&mut r.node, 1_000_000);
+        assert_eq!(r.analyser.policy_history_len(), 1);
+        assert_eq!(r.analyser.policy_history_retired(), 2);
+        // Churn keeps working after pruning.
+        r.analyser
+            .publish_authorised_policy(crate::monitor::default_policy(), 2_000_000);
+        assert_eq!(r.analyser.policy_history_len(), 2);
+    }
+
+    #[test]
+    fn history_retention_holds_back_for_unretired_groups() {
+        let mut r = rig();
+        r.analyser.enable_history_retention(1_000);
+        r.analyser.enable_group_retirement(1_000_000);
+        r.analyser
+            .publish_authorised_policy(crate::monitor::default_policy(), 1_000);
+        // A group checked at t=2_000 stays pending (huge retire lag); it
+        // anchors the horizon, so the version retired at t=1_000 must
+        // survive far past its own retirement + retention.
+        run_group(&mut r, 1, "doctor", honest_response("doctor"), true);
+        r.analyser.poll(&mut r.node, 2_000);
+        assert_eq!(r.analyser.pending_retirements(), 1);
+        r.analyser.poll(&mut r.node, 500_000);
+        assert_eq!(r.analyser.policy_history_len(), 2);
+        assert_eq!(r.analyser.policy_history_retired(), 0);
+    }
+
+    #[test]
+    fn pruned_history_survives_checkpoint_recovery() {
+        use drams_store::{MemBackend, SnapshotStore};
+        let mut r = rig();
+        r.analyser.enable_history_retention(10_000);
+        r.analyser
+            .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
+            .unwrap();
+        r.analyser
+            .publish_authorised_policy(crate::monitor::default_policy(), 1_000);
+        r.analyser.publish_authorised_policy(
+            PolicySet::builder("root3", CombiningAlg::PermitUnlessDeny).build(),
+            2_000,
+        );
+        r.analyser.poll(&mut r.node, 11_500); // prunes the initial version
+        assert_eq!(r.analyser.policy_history_len(), 2);
+        let retired = r.analyser.policy_history_retired();
+        assert_eq!(retired, 1);
+        r.analyser.checkpoint().unwrap();
+        let store = r.analyser.detach_checkpoint().unwrap();
+
+        let recovered =
+            Analyser::recover(r.key.clone(), Keypair::from_seed(b"analyser"), store).unwrap();
+        // The pruned baseline replays to the same live history: the
+        // dropped version is NOT resurrected, counters match.
+        assert_eq!(recovered.policy_history_len(), 2);
+        assert_eq!(recovered.policy_history_retired(), retired);
+        assert_eq!(
+            recovered.verifier.authorised_version(),
+            r.analyser.verifier.authorised_version()
+        );
+    }
+
+    #[test]
+    fn parallel_group_judging_is_worker_count_invisible() {
+        use drams_faas::par;
+        // More groups than PAR_MIN_GROUPS, mixed verdicts, compared
+        // across worker counts by rebuilding the same chain each time.
+        let runs: Vec<Vec<Alert>> = [1usize, 4]
+            .iter()
+            .map(|&w| {
+                let saved = par::workers();
+                par::set_workers(w);
+                let mut r = rig();
+                for corr in 0..(PAR_MIN_GROUPS as u64 + 4) {
+                    let (role, resp, granted) = match corr % 3 {
+                        0 => ("doctor", honest_response("doctor"), true),
+                        1 => (
+                            "nurse",
+                            Response::new(drams_policy::decision::ExtDecision::Permit, vec![]),
+                            true,
+                        ),
+                        _ => ("doctor", honest_response("doctor"), false),
+                    };
+                    run_group(&mut r, corr + 1, role, resp, granted);
+                }
+                let alerts = r.analyser.poll(&mut r.node, 50_000);
+                par::set_workers(saved);
+                alerts
+            })
+            .collect();
+        assert!(!runs[0].is_empty());
+        assert_eq!(runs[0], runs[1]);
     }
 
     #[test]

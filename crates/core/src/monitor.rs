@@ -267,6 +267,9 @@ pub struct MonitorReport {
     /// Completed decision groups the Analyser retired (evidence pruned
     /// from contract storage after the replay window).
     pub groups_retired: u64,
+    /// Superseded authorised-policy versions the Analyser dropped past
+    /// the history-retention horizon.
+    pub policy_history_retired: u64,
     /// Chain write-ahead-journal compactions (snapshot + prune) run.
     pub journal_compactions: u64,
     /// High-water marks of every bounded state pool (capacity planning
@@ -298,6 +301,9 @@ pub struct PeakState {
     pub contract_storage: u64,
     /// Unconsumed records in the chain node's write-ahead journal.
     pub chain_journal_records: u64,
+    /// Authorised-policy versions in the Analyser's verification
+    /// history (bounded by the retention horizon under policy churn).
+    pub policy_history: u64,
 }
 
 impl MonitorReport {

@@ -267,6 +267,10 @@ pub struct LoadProfile {
     /// (prunes its evidence from contract storage). 0 = never. Clamped
     /// up to [`MIN_RETENTION`].
     pub analyser_retire_lag: SimTime,
+    /// How long a superseded authorised-policy version outlives its
+    /// retirement before the Analyser drops it from the verification
+    /// history. 0 = keep forever. Clamped up to [`MIN_RETENTION`].
+    pub policy_history_retention: SimTime,
     /// Compact the chain node's write-ahead journal every this many
     /// blocks (snapshot + prune). 0 = never.
     pub chain_compact_interval: u64,
@@ -283,6 +287,7 @@ impl Default for LoadProfile {
             li_resident_cap: 0,
             idempotency_retention: 0,
             analyser_retire_lag: 0,
+            policy_history_retention: 0,
             chain_compact_interval: 0,
         }
     }
@@ -335,6 +340,11 @@ impl LoadProfile {
             },
             analyser_retire_lag: if self.analyser_retire_lag > 0 {
                 self.analyser_retire_lag.max(MIN_RETENTION)
+            } else {
+                0
+            },
+            policy_history_retention: if self.policy_history_retention > 0 {
+                self.policy_history_retention.max(MIN_RETENTION)
             } else {
                 0
             },
@@ -1433,12 +1443,62 @@ struct PdpService {
     slots: Vec<PdpSlot>,
     infra_li: usize,
     key: SymmetricKey,
+    /// Decisions computed by [`SimService::prepare_batch`] ahead of the
+    /// serial handler pass, keyed by (slot, correlation). The handler
+    /// consumes its entry (or evaluates inline when the message was not
+    /// part of a prepared batch).
+    prepared: HashMap<(usize, CorrelationId), drams_policy::decision::Response>,
 }
 
 impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
+    fn lane_of(&self, msg: &Msg) -> Option<u64> {
+        // Per-cloud compute lanes: same-timestamp deliveries to distinct
+        // PDP slots are independent (each slot owns its policy engine,
+        // cache and probe), so the runtime may batch them for
+        // `prepare_batch`. Everything else stays strictly serial.
+        match msg {
+            Msg::PdpReceive { slot, .. } => Some(*slot as u64),
+            _ => None,
+        }
+    }
+
+    fn prepare_batch(&mut self, now: SimTime, msgs: &[&Msg], _ctx: &mut Ctx<'a>) {
+        // Evaluate the batch's policy decisions in parallel, one job per
+        // distinct slot. Eligibility mirrors the handler exactly: a
+        // silenced PDP never evaluates, and a cached correlation is
+        // answered from the idempotency cache. Slots are pairwise
+        // distinct within a batch (lane contract), so no two jobs touch
+        // the same engine and the per-slot cache trajectory is identical
+        // to the serial order. Decisions are pure in `now` and the
+        // request, so precomputing here is handler-order invisible.
+        let jobs: Vec<(
+            usize,
+            CorrelationId,
+            &drams_policy::pdp::Pdp,
+            &RequestEnvelope,
+        )> = msgs
+            .iter()
+            .filter_map(|m| match m {
+                Msg::PdpReceive { slot, env }
+                    if now >= self.slots[*slot].silenced_until
+                        && !self.slots[*slot].decided.contains_key(&env.correlation) =>
+                {
+                    Some((*slot, env.correlation, &self.slots[*slot].pdp, env))
+                }
+                _ => None,
+            })
+            .collect();
+        let responses =
+            drams_faas::par::map(&jobs, 2, |&(_, _, pdp, env)| pdp.evaluate(&env.request));
+        for ((slot, corr, _, _), response) in jobs.into_iter().zip(responses) {
+            self.prepared.insert((slot, corr), response);
+        }
+    }
+
     fn handle(&mut self, now: SimTime, msg: Msg, ctx: &mut Ctx<'a>, out: &mut Outbox<Msg>) {
         match msg {
             Msg::PdpReceive { slot, env } => {
+                let prepared = self.prepared.remove(&(slot, env.correlation));
                 let s = &mut self.slots[slot];
                 if now < s.silenced_until {
                     // Fault window: a silent PDP neither observes nor
@@ -1468,7 +1528,7 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
                         .observe_request(ObservationPoint::PdpRequest, &env, now);
                     ctx.deliver_to_li(out, self.infra_li, entry, now);
                 }
-                let response = s.pdp.evaluate(&env.request);
+                let response = prepared.unwrap_or_else(|| s.pdp.evaluate(&env.request));
                 let mut resp_env = ResponseEnvelope {
                     correlation: env.correlation,
                     pep: env.pep,
@@ -1852,11 +1912,17 @@ impl<'a> SimService<Msg, Ctx<'a>> for AnalyserService {
                 // here, never re-checks, never re-alerts.
                 self.analyser.checkpoint().expect("analyser checkpoint");
                 ctx.report.groups_retired = self.analyser.groups_retired();
+                ctx.report.policy_history_retired = self.analyser.policy_history_retired();
                 ctx.report.peak.analyser_pending_retire = ctx
                     .report
                     .peak
                     .analyser_pending_retire
                     .max(self.analyser.pending_retirements() as u64);
+                ctx.report.peak.policy_history = ctx
+                    .report
+                    .peak
+                    .policy_history
+                    .max(self.analyser.policy_history_len() as u64);
                 if out.within_deadline(now) {
                     out.emit(self.poll_interval, Msg::AnalyserTick);
                 }
@@ -2327,6 +2393,13 @@ pub fn run_scenario<A: Adversary>(
         // pending window) ride in every recovery.
         analyser.enable_group_retirement(load.analyser_retire_lag);
     }
+    if load.policy_history_retention > 0 {
+        // Bounded authorised-policy history: superseded versions older
+        // than the horizon (referenced to the oldest unretired group)
+        // are dropped. Enabled before the first checkpoint so the
+        // horizon rides in every recovery.
+        analyser.enable_history_retention(load.policy_history_retention);
+    }
     analyser
         .attach_checkpoint(SnapshotStore::new(Box::new(MemBackend::new())))
         .expect("analyser checkpoint");
@@ -2438,6 +2511,7 @@ pub fn run_scenario<A: Adversary>(
         slots,
         infra_li,
         key: key.clone(),
+        prepared: HashMap::new(),
     }));
     rt.register(Box::new(li_service));
     rt.register(Box::new(ChainService {
@@ -3275,8 +3349,9 @@ mod tests {
             }],
             pep_inflight_cap: 4,
             li_resident_cap: 4,
-            idempotency_retention: 1, // below the safety floor
-            analyser_retire_lag: 1,   // below the safety floor
+            idempotency_retention: 1,    // below the safety floor
+            analyser_retire_lag: 1,      // below the safety floor
+            policy_history_retention: 1, // below the safety floor
             chain_compact_interval: 8,
         };
         let sane = wild.clamped();
@@ -3290,11 +3365,13 @@ mod tests {
             "retention below the retry budget would break idempotency"
         );
         assert_eq!(sane.analyser_retire_lag, MIN_RETENTION);
+        assert_eq!(sane.policy_history_retention, MIN_RETENTION);
         // Zero stays zero: the feature stays off rather than being
         // silently enabled at the floor.
         let off = LoadProfile::default().clamped();
         assert_eq!(off.idempotency_retention, 0);
         assert_eq!(off.analyser_retire_lag, 0);
+        assert_eq!(off.policy_history_retention, 0);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`fault`] — a deterministic per-link network fault plane (drop,
 //!   duplicate, reorder, delay, timed partitions) the runtime's net shim
 //!   applies between services.
+//! * [`par`] — a deterministic worker pool for pure-compute job batches
+//!   (signature verification, hashing, policy re-evaluation); results are
+//!   merged in submission order so output is worker-count invisible.
 //! * [`workload`] — Poisson arrivals, Zipf popularity, request and policy
 //!   generators shared by experiments and property tests.
 
@@ -24,6 +27,7 @@ pub mod des;
 pub mod fault;
 pub mod model;
 pub mod msg;
+pub mod par;
 pub mod pep;
 pub mod prp;
 pub mod workload;

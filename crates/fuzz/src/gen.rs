@@ -537,6 +537,7 @@ fn load_profile(rng: &mut StdRng) -> LoadProfile {
         li_resident_cap: rng.gen_range(32..=256),
         idempotency_retention: if rng.gen_bool(0.5) { MIN_RETENTION } else { 0 },
         analyser_retire_lag: if rng.gen_bool(0.5) { MIN_RETENTION } else { 0 },
+        policy_history_retention: if rng.gen_bool(0.5) { MIN_RETENTION } else { 0 },
         chain_compact_interval: if rng.gen_bool(0.5) {
             rng.gen_range(4..=16)
         } else {

@@ -46,6 +46,9 @@ pub struct CaseOutcome {
     pub events: u64,
     /// Whether the crash-twin clause ran (the script had a crash).
     pub crash_twin_checked: bool,
+    /// Whether the sampled worker-count replay clause ran (the case was
+    /// re-executed at a different `drams_faas::par` pool size).
+    pub worker_replay_checked: bool,
 }
 
 /// The uninterrupted twin of a scenario: same deployment, phases and
@@ -228,6 +231,91 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
         }
     }
 
+    // Clause 4 (sampled): the worker count must be observationally
+    // invisible. A quarter of cases — picked by a stable hash of the
+    // case name, so a shrinking reproduction keeps re-running the
+    // clause — are re-executed at a different `drams_faas::par` pool
+    // size and must match the original run byte for byte: alerts,
+    // ground truth, every throughput and retirement counter, peak
+    // state, fault statistics and finish time.
+    let base_workers = drams_faas::par::workers();
+    let alt_workers = if base_workers == 4 { 1 } else { 4 };
+    let worker_replay_checked = case.spec.name.bytes().map(u64::from).sum::<u64>() % 4 == 0;
+    if worker_replay_checked {
+        let mut replay_adversary = case.plan.build();
+        drams_faas::par::set_workers(alt_workers);
+        let (replay, replay_truth) = run_scenario(&case.spec, &mut replay_adversary);
+        drams_faas::par::set_workers(base_workers);
+        let base_alerts: Vec<Vec<u8>> = report
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        let replay_alerts: Vec<Vec<u8>> = replay
+            .alerts
+            .iter()
+            .map(Encode::to_canonical_bytes)
+            .collect();
+        let mut diverged = Vec::new();
+        if replay_alerts != base_alerts {
+            diverged.push(format!(
+                "alerts ({} vs {})",
+                replay_alerts.len(),
+                base_alerts.len()
+            ));
+        }
+        if replay_truth != truth {
+            diverged.push("ground truth".to_string());
+        }
+        for (what, a, b) in [
+            (
+                "requests_completed",
+                report.requests_completed,
+                replay.requests_completed,
+            ),
+            ("requests_shed", report.requests_shed, replay.requests_shed),
+            (
+                "entries_logged",
+                report.entries_logged,
+                replay.entries_logged,
+            ),
+            (
+                "groups_completed",
+                report.groups_completed,
+                replay.groups_completed,
+            ),
+            ("txs_committed", report.txs_committed, replay.txs_committed),
+            (
+                "groups_retired",
+                report.groups_retired,
+                replay.groups_retired,
+            ),
+            (
+                "policy_history_retired",
+                report.policy_history_retired,
+                replay.policy_history_retired,
+            ),
+            ("finished_at", report.finished_at, replay.finished_at),
+        ] {
+            if a != b {
+                diverged.push(format!("{what} ({a} vs {b})"));
+            }
+        }
+        if replay.peak != report.peak {
+            diverged.push("peak state".to_string());
+        }
+        if replay.faults != report.faults {
+            diverged.push("fault stats".to_string());
+        }
+        if !diverged.is_empty() {
+            violations.push(format!(
+                "{}: workers={alt_workers} replay diverges from workers={base_workers}: {}",
+                case.spec.name,
+                diverged.join(", ")
+            ));
+        }
+    }
+
     CaseOutcome {
         name: case.spec.name.clone(),
         violations,
@@ -240,6 +328,7 @@ pub fn run_case(case: &FuzzCase) -> CaseOutcome {
             + report.blocks_mined
             + report.alerts.len() as u64,
         crash_twin_checked,
+        worker_replay_checked,
     }
 }
 
@@ -280,6 +369,19 @@ mod tests {
     fn crash_case_exercises_the_twin_clause() {
         let outcome = run_case(&generate(14));
         assert!(outcome.crash_twin_checked);
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+    }
+
+    #[test]
+    fn sampled_case_exercises_the_worker_replay_clause() {
+        // Pick the first prelude seed whose name hash selects it for the
+        // worker-count replay, so the clause demonstrably runs and holds.
+        let case = (1..=64)
+            .map(generate)
+            .find(|c| c.spec.name.bytes().map(u64::from).sum::<u64>() % 4 == 0)
+            .expect("some prelude seed samples into the replay clause");
+        let outcome = run_case(&case);
+        assert!(outcome.worker_replay_checked);
         assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
     }
 }

@@ -370,6 +370,11 @@ pub fn render_rust(case: &FuzzCase) -> String {
         );
         let _ = writeln!(
             out,
+            "        policy_history_retention: {},",
+            load.policy_history_retention
+        );
+        let _ = writeln!(
+            out,
             "        chain_compact_interval: {},",
             load.chain_compact_interval
         );

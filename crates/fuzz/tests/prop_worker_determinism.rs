@@ -1,0 +1,88 @@
+//! Determinism property: the worker pool must be observationally
+//! invisible.
+//!
+//! Invariant 8 (DESIGN.md): parallel execution is a pure throughput
+//! optimisation — every compute lane merges results in submission
+//! order, so a run at `DRAMS_WORKERS=8` must be byte-for-byte equal to
+//! the single-threaded run. This suite draws arbitrary fuzzer cases
+//! (phased load, churn, policy flips, fault plans, attack campaigns,
+//! crashes) and replays each at worker counts 1, 2, 4 and 8, requiring
+//! the alert bytes, ground truth, throughput counters, peak state,
+//! fault counters and finish time to match exactly.
+
+use drams_core::monitor::{GroundTruth, MonitorReport};
+use drams_core::scenario::run_scenario;
+use drams_crypto::codec::Encode;
+use drams_faas::par;
+use drams_fuzz::generate;
+use proptest::prelude::*;
+
+/// One full fingerprint of a run — everything a divergent scheduler
+/// could plausibly perturb.
+fn fingerprint(report: &MonitorReport, truth: &GroundTruth) -> (Vec<Vec<u8>>, String) {
+    let alerts: Vec<Vec<u8>> = report
+        .alerts
+        .iter()
+        .map(Encode::to_canonical_bytes)
+        .collect();
+    let rest = format!(
+        "{truth:?}|{}|{}|{}|{}|{}|{}|{}|{}|{:?}|{:?}|{}",
+        report.requests_issued,
+        report.requests_completed,
+        report.requests_shed,
+        report.entries_logged,
+        report.groups_completed,
+        report.txs_committed,
+        report.groups_retired,
+        report.policy_history_retired,
+        report.peak,
+        report.faults,
+        report.finished_at,
+    );
+    (alerts, rest)
+}
+
+/// Serialises tests in this binary: the worker count is process-global,
+/// so concurrent tests flipping it would race each other.
+static WORKER_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Runs one generated case at every worker count and asserts all
+/// fingerprints are identical to the single-threaded baseline.
+fn assert_worker_count_invisible(seed: u64) {
+    let _guard = WORKER_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let case = generate(seed);
+    let saved = par::workers();
+    let mut baseline = None;
+    for workers in [1usize, 2, 4, 8] {
+        par::set_workers(workers);
+        let mut adversary = case.plan.build();
+        let (report, truth) = run_scenario(&case.spec, &mut adversary);
+        let fp = fingerprint(&report, &truth);
+        match &baseline {
+            None => baseline = Some(fp),
+            Some(base) => assert_eq!(
+                base, &fp,
+                "seed {seed}: workers={workers} diverged from workers=1"
+            ),
+        }
+    }
+    par::set_workers(saved);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Arbitrary fuzzer seeds — the richest ScenarioSpec source the
+    /// repo has — replay byte-identically at 1, 2, 4 and 8 workers.
+    #[test]
+    fn arbitrary_scenarios_are_worker_count_invisible(seed in 0u64..=4096) {
+        assert_worker_count_invisible(seed);
+    }
+}
+
+/// Pinned heavy case: the coverage-prelude crash seed, so the replay
+/// crosses checkpoint recovery at every worker count too.
+#[test]
+fn crash_seed_is_worker_count_invisible() {
+    assert_worker_count_invisible(14);
+}
