@@ -1,7 +1,7 @@
 //! Regenerates every experiment table of the DRAMS reproduction
 //! (EXPERIMENTS.md / DESIGN.md §3).
 //!
-//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e15|all] [--quick] [--scenario <name>]`
+//! Usage: `cargo run --release -p drams-bench --bin run_experiments [e1..e16|all] [--quick] [--scenario <name>]`
 //!
 //! Run with `--release`: E1/E2 perform real proof-of-work hashing.
 //!
@@ -40,7 +40,11 @@
 //! `drams_faas::par` pool: throughput and speedup per row, with a
 //! determinism gate asserting every parallel replay byte-identical to
 //! the sequential run and an adaptive speedup gate — either flag
-//! going false fails the run).
+//! going false fails the run), and `e16` writes the real-transport
+//! trajectory to `BENCH_NET.json` (loopback TCP round-trip latency and
+//! frame throughput per payload size, endpoint kill/re-provision cost,
+//! and a DES-vs-TCP conformance replay whose `matched` flag going
+//! false fails the run).
 //! `--quick` shrinks the sweeps to CI-smoke size — the JSON records
 //! which mode produced it.
 
@@ -51,6 +55,7 @@ use drams_bench::fault_trajectory::{self, DetectionRow, FaultRow, FaultSummary, 
 use drams_bench::fuzz_trajectory::{self, FuzzSummary};
 use drams_bench::load_trajectory::{self, LoadRow, LoadSummary, PEAK_COLUMNS};
 use drams_bench::log_entry_of_size;
+use drams_bench::net_trajectory;
 use drams_bench::par_trajectory;
 use drams_bench::scenarios;
 use drams_bench::store_trajectory::{self, EngineRow, RecoveryRow};
@@ -128,6 +133,7 @@ fn main() {
     let e13_summary = want("e13").then(|| e13_fault_plane(quick));
     let e14_summary = want("e14").then(|| e14_overload(quick));
     let e15_summary = want("e15").then(|| e15_parallel(quick));
+    let e16_summary = want("e16").then(|| e16_net(quick));
 
     // The tracked perf trajectory: whenever E5 and/or E6 ran, rewrite
     // BENCH_PDP.json at the repo root so the diff shows what moved. A
@@ -420,6 +426,28 @@ fn main() {
             eprintln!(
                 "\nparallel speedup gate failed on a {}-core host (see BENCH_PAR.json)",
                 summary.host_cores
+            );
+            std::process::exit(1);
+        }
+    }
+    // The real-transport trajectory: same write-then-enforce shape —
+    // a conformance break lands in BENCH_NET.json before the non-zero
+    // exit fails the run.
+    if let Some(summary) = e16_summary {
+        let path = net_trajectory::repo_path();
+        let previous = std::fs::read_to_string(&path).ok();
+        let json = net_trajectory::render_json(quick, Some(&summary), previous.as_deref());
+        match std::fs::write(&path, &json) {
+            Ok(()) => println!("wrote transport trajectory to {}", path.display()),
+            Err(e) => {
+                eprintln!("\nfailed to write {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+        if !summary.conformance.matched {
+            eprintln!(
+                "\nDES-vs-TCP conformance diverged on scenario {}",
+                summary.conformance.scenario
             );
             std::process::exit(1);
         }
@@ -1948,5 +1976,127 @@ fn e15_parallel(quick: bool) -> par_trajectory::ParSummary {
         rows,
         determinism_ok,
         speedup_ok,
+    }
+}
+
+/// E16 — the real transport (DESIGN.md invariant 9): loopback TCP
+/// round-trip latency and frame throughput per payload size, the cost
+/// of killing and lazily re-provisioning a service endpoint, and a
+/// DES-vs-TCP conformance replay of the steady-state scenario.
+fn e16_net(quick: bool) -> net_trajectory::NetSummary {
+    use drams_core::adversary::NoAdversary;
+    use drams_core::scenario::{run_scenario, run_scenario_with_transport};
+    use drams_crypto::codec::Encode;
+    use drams_faas::transport::{Transport, WireFrame, WireRole};
+    use drams_net::TcpTransport;
+    use net_trajectory::{Conformance, NetRow, NetSummary, ReconnectCost};
+
+    header(
+        "E16",
+        "real transport: loopback TCP round-trips and conformance",
+    );
+    let mut transport = TcpTransport::loopback();
+    let mut seq = 0u64;
+    let mut roundtrip = |transport: &mut TcpTransport, payload: Vec<u8>| {
+        seq += 1;
+        let frame = WireFrame {
+            role: WireRole::Pdp { slot: 0 },
+            kind: 0,
+            seq,
+            delay: 0,
+            payload,
+        };
+        transport.roundtrip(frame).expect("loopback round-trip");
+    };
+
+    // -- round-trip latency and throughput per payload size -----------------
+    // 192 bytes ≈ a canonical RequestEnvelope; 4 KiB ≈ a batched log
+    // delivery. Warm-up covers endpoint provisioning + connect.
+    let frames_per_size: u64 = if quick { 2_000 } else { 20_000 };
+    let mut rows = Vec::new();
+    for &payload_bytes in &[192usize, 4_096] {
+        roundtrip(&mut transport, vec![0xA5; payload_bytes]);
+        let mut lat_us = Vec::with_capacity(frames_per_size as usize);
+        let wall = Instant::now();
+        for _ in 0..frames_per_size {
+            let t = Instant::now();
+            roundtrip(&mut transport, vec![0xA5; payload_bytes]);
+            lat_us.push(t.elapsed().as_secs_f64() * 1_000_000.0);
+        }
+        let wall_ms = wall.elapsed().as_secs_f64() * 1_000.0;
+        lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rt_mean_us = lat_us.iter().sum::<f64>() / lat_us.len() as f64;
+        let rt_p95_us = lat_us[(lat_us.len() * 95 / 100).min(lat_us.len() - 1)];
+        let frames_per_sec = frames_per_size as f64 / (wall_ms / 1_000.0).max(1e-9);
+        println!(
+            "payload {payload_bytes:>5} B  frames {frames_per_size:>6}  wall {wall_ms:>8.1} ms  \
+             mean {rt_mean_us:>7.1} us  p95 {rt_p95_us:>7.1} us  {frames_per_sec:>8.0} frames/s"
+        );
+        rows.push(NetRow {
+            payload_bytes,
+            frames: frames_per_size,
+            wall_ms,
+            rt_mean_us,
+            rt_p95_us,
+            frames_per_sec,
+        });
+    }
+
+    // -- reconnect cost: kill the endpoint, re-provision, first echo --------
+    let cycles: u64 = if quick { 20 } else { 100 };
+    let mut costs_us = Vec::with_capacity(cycles as usize);
+    for _ in 0..cycles {
+        let t = Instant::now();
+        transport
+            .restart(WireRole::Pdp { slot: 0 })
+            .expect("restart");
+        roundtrip(&mut transport, vec![0xA5; 192]);
+        costs_us.push(t.elapsed().as_secs_f64() * 1_000_000.0);
+    }
+    let mean_us = costs_us.iter().sum::<f64>() / costs_us.len() as f64;
+    let max_us = costs_us.iter().copied().fold(0.0f64, f64::max);
+    println!(
+        "reconnect: {cycles} kill/re-provision cycles  mean {mean_us:>8.1} us  max {max_us:>8.1} us"
+    );
+    let reconnect = ReconnectCost {
+        cycles,
+        mean_us,
+        max_us,
+    };
+
+    // -- conformance: the steady-state scenario over both backends ----------
+    let spec = scenarios::steady_state(true);
+    let (des, des_truth) = run_scenario(&spec, &mut NoAdversary);
+    let mut tcp_transport = TcpTransport::loopback();
+    let (tcp, tcp_truth) = run_scenario_with_transport(&spec, &mut NoAdversary, &mut tcp_transport);
+    let stats = tcp_transport.stats();
+    let alert_bytes = |r: &drams_core::monitor::MonitorReport| -> Vec<Vec<u8>> {
+        r.alerts.iter().map(Encode::to_canonical_bytes).collect()
+    };
+    let matched = stats.frames > 0
+        && des_truth == tcp_truth
+        && alert_bytes(&des) == alert_bytes(&tcp)
+        && des.requests_completed == tcp.requests_completed
+        && des.entries_logged == tcp.entries_logged
+        && des.finished_at == tcp.finished_at;
+    println!(
+        "conformance: {}  frames {}  {}",
+        spec.name,
+        stats.frames,
+        if matched {
+            "byte-identical over DES and TCP"
+        } else {
+            "DIVERGED"
+        }
+    );
+    NetSummary {
+        transport: transport.name().to_string(),
+        rows,
+        reconnect,
+        conformance: Conformance {
+            scenario: spec.name.clone(),
+            frames: stats.frames,
+            matched,
+        },
     }
 }

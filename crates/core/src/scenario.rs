@@ -57,7 +57,7 @@ use drams_chain::chain::ChainConfig;
 use drams_chain::node::Node;
 use drams_chain::tx::{Transaction, TxId};
 use drams_crypto::aead::SymmetricKey;
-use drams_crypto::codec::{Decode, Encode, Reader};
+use drams_crypto::codec::{Decode, Encode, Reader, Writer};
 use drams_crypto::schnorr::Keypair;
 use drams_crypto::sha256::Digest;
 use drams_faas::des::{Outbox, ServiceRuntime, SimService, SimTime, MILLIS, SECONDS};
@@ -66,6 +66,7 @@ use drams_faas::model::{CloudId, LatencyModel, PepId, TenantId, TenantSpec};
 use drams_faas::msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 use drams_faas::pep::Pep;
 use drams_faas::prp::Prp;
+use drams_faas::transport::{DesTransport, Transport, TransportError, WireFrame, WireRole};
 use drams_faas::workload::{PoissonArrivals, RequestGenerator, Vocabulary, Zipf};
 use drams_policy::attr::Request;
 use drams_policy::policy::PolicySet;
@@ -745,6 +746,118 @@ fn clone_faulted(msg: &Msg) -> Msg {
 }
 
 // ---------------------------------------------------------------------------
+// Wire codec
+// ---------------------------------------------------------------------------
+
+// Frame kinds for the messages a wire transport carries (kind 0 is the
+// transport-level ping).
+const KIND_PDP_RECEIVE: u8 = 1;
+const KIND_PEP_RECEIVE: u8 = 2;
+const KIND_LI_DELIVER: u8 = 3;
+const KIND_PROVISION_PROBE_KEY: u8 = 4;
+
+/// Serialises a message for the wire, if it is one of the
+/// federation-crossing kinds: the three link messages the fault plane
+/// classifies (request, response, log delivery) plus the Analyser's
+/// probe-key provisioning on tenant joins. Local self-ticks, scripted
+/// control and crash events stay inside the driver process.
+fn wire_encode(msg: &Msg) -> Option<(WireRole, u8, Vec<u8>)> {
+    let mut w = Writer::new();
+    match msg {
+        Msg::PdpReceive { slot, env } => {
+            w.put_u32(*slot as u32);
+            env.encode(&mut w);
+            Some((
+                WireRole::Pdp { slot: *slot as u32 },
+                KIND_PDP_RECEIVE,
+                w.into_bytes(),
+            ))
+        }
+        Msg::PepReceive { slot, env } => {
+            w.put_u32(*slot as u32);
+            env.encode(&mut w);
+            Some((WireRole::Pep, KIND_PEP_RECEIVE, w.into_bytes()))
+        }
+        Msg::LiDeliver { li, entry } => {
+            w.put_u32(*li as u32);
+            entry.encode(&mut w);
+            Some((
+                WireRole::Li { index: *li as u32 },
+                KIND_LI_DELIVER,
+                w.into_bytes(),
+            ))
+        }
+        Msg::ProvisionProbeKey { probe } => {
+            w.put_u32(probe.0);
+            Some((WireRole::Analyser, KIND_PROVISION_PROBE_KEY, w.into_bytes()))
+        }
+        _ => None,
+    }
+}
+
+/// Rebuilds the message a frame carries. The scheduler consumes exactly
+/// this — whatever came back off the wire, not the emission that went in.
+fn wire_decode(frame: &WireFrame) -> Result<Msg, TransportError> {
+    let mut r = Reader::new(&frame.payload);
+    let malformed = |e: drams_crypto::CryptoError| TransportError::Malformed(e.to_string());
+    let msg = match frame.kind {
+        KIND_PDP_RECEIVE => Msg::PdpReceive {
+            slot: r.get_u32().map_err(malformed)? as usize,
+            env: RequestEnvelope::decode(&mut r).map_err(malformed)?,
+        },
+        KIND_PEP_RECEIVE => Msg::PepReceive {
+            slot: r.get_u32().map_err(malformed)? as usize,
+            env: ResponseEnvelope::decode(&mut r).map_err(malformed)?,
+        },
+        KIND_LI_DELIVER => Msg::LiDeliver {
+            li: r.get_u32().map_err(malformed)? as usize,
+            entry: LogEntry::decode(&mut r).map_err(malformed)?,
+        },
+        KIND_PROVISION_PROBE_KEY => Msg::ProvisionProbeKey {
+            probe: ProbeId(r.get_u32().map_err(malformed)?),
+        },
+        other => {
+            return Err(TransportError::Malformed(format!(
+                "unknown frame kind {other}"
+            )))
+        }
+    };
+    r.finish().map_err(malformed)?;
+    Ok(msg)
+}
+
+/// Pushes one delivery into the scheduler's buffer, carrying it through
+/// the wire transport first when one is attached: the message is framed
+/// (with the scheduler's delay riding in the frame), round-tripped
+/// through the destination service's socket endpoint, and re-decoded
+/// from the bytes that came back. Under [`DesTransport`] this is a plain
+/// push — the conformance oracle's path.
+fn deliver(ctx: &mut Ctx<'_>, delay: SimTime, msg: Msg, buf: &mut Vec<(SimTime, Msg)>) {
+    if !ctx.transport.is_wire() {
+        buf.push((delay, msg));
+        return;
+    }
+    let Some((role, kind, payload)) = wire_encode(&msg) else {
+        buf.push((delay, msg));
+        return;
+    };
+    ctx.wire_seq += 1;
+    let frame = WireFrame {
+        role,
+        kind,
+        seq: ctx.wire_seq,
+        delay,
+        payload,
+    };
+    let echo = ctx
+        .transport
+        .roundtrip(frame)
+        .expect("wire transport round-trip");
+    let decoded = wire_decode(&echo).expect("echoed frame decodes");
+    buf.push((echo.delay, decoded));
+}
+
+// ---------------------------------------------------------------------------
 // Shared context
 // ---------------------------------------------------------------------------
 
@@ -793,6 +906,11 @@ struct Ctx<'a> {
     slot_site: Vec<Site>,
     /// LI index → the site it is deployed in.
     li_site: Vec<Site>,
+    /// The carrier for wire messages ([`DesTransport`] or a real socket
+    /// backend); crash restarts notify it so wire backends reconnect.
+    transport: &'a mut dyn Transport,
+    /// Strictly increasing frame sequence number (wire backends only).
+    wire_seq: u64,
 }
 
 impl Ctx<'_> {
@@ -1600,6 +1718,11 @@ impl<'a> SimService<Msg, Ctx<'a>> for PdpService {
             Msg::CrashPdp { slot } => {
                 let active = self.prp.active().pdp();
                 self.slots[slot].crash_restart(&self.key, active);
+                // A wire backend tears down this slot's endpoint; the
+                // next framed request reconnects to the restarted one.
+                ctx.transport
+                    .restart(WireRole::Pdp { slot: slot as u32 })
+                    .expect("transport restart");
                 ctx.report.crash_restarts += 1;
             }
             _ => unreachable!("misrouted event"),
@@ -1735,6 +1858,9 @@ impl<'a> SimService<Msg, Ctx<'a>> for LiService {
                 out.emit(self.flush_interval, Msg::LiFlushTick { li });
             }
             Msg::CrashLi { li } => {
+                ctx.transport
+                    .restart(WireRole::Li { index: li as u32 })
+                    .expect("transport restart");
                 // The LI process dies: its buffer is gone, its WAL — on
                 // durable storage — survives (with whatever a power cut
                 // preserves under the configured durability). Entries
@@ -1804,6 +1930,9 @@ impl<'a> SimService<Msg, Ctx<'a>> for ChainService {
             return;
         }
         if matches!(msg, Msg::CrashChain) {
+            ctx.transport
+                .restart(WireRole::Chain)
+                .expect("transport restart");
             // The node process dies: chain, contract state and mempool
             // are gone; the write-ahead journal survives. Replaying it
             // reconstructs all three exactly, and the recovered node
@@ -1939,6 +2068,9 @@ impl<'a> SimService<Msg, Ctx<'a>> for AnalyserService {
                 self.analyser.checkpoint().expect("analyser checkpoint");
             }
             Msg::CrashAnalyser => {
+                ctx.transport
+                    .restart(WireRole::Analyser)
+                    .expect("transport restart");
                 // The Analyser process dies; its checkpoint store
                 // survives. Recovery resumes the cursors and the
                 // authorised-policy history — no re-scan, no re-alert.
@@ -2235,6 +2367,31 @@ pub fn run_scenario<A: Adversary>(
     spec: &ScenarioSpec,
     adversary: &mut A,
 ) -> (MonitorReport, GroundTruth) {
+    run_scenario_with_transport(spec, adversary, &mut DesTransport)
+}
+
+/// Runs one scenario over an explicit transport backend.
+///
+/// Under [`DesTransport`] this is exactly [`run_scenario`]. Under a
+/// wire backend (`drams_net::TcpTransport`) every federation-crossing
+/// message is framed, carried through the destination service's socket
+/// endpoint with a synchronous round-trip, and scheduled from the bytes
+/// that came back — while the DES remains the single logical clock, so
+/// the two backends are comparable event for event. Invariant 9: the
+/// transport choice is observationally invisible — same spec, same
+/// alerts, same ground truth, byte for byte.
+///
+/// # Panics
+///
+/// Panics on internal invariant violations (see [`run_scenario`]) and
+/// on wire-transport failures that survive the transport's own
+/// reconnect policy: a transport that cannot deliver is a harness
+/// failure, not a scenario outcome.
+pub fn run_scenario_with_transport<A: Adversary>(
+    spec: &ScenarioSpec,
+    adversary: &mut A,
+    transport: &mut dyn Transport,
+) -> (MonitorReport, GroundTruth) {
     let config = &spec.config;
     // Pathological overload knobs are clamped once, up front; the
     // default profile passes through unchanged.
@@ -2455,6 +2612,8 @@ pub fn run_scenario<A: Adversary>(
             })
             .chain(std::iter::once(Site::Infra))
             .collect(),
+        transport,
+        wire_seq: 0,
     };
 
     // --- services ----------------------------------------------------------
@@ -2534,13 +2693,16 @@ pub fn run_scenario<A: Adversary>(
         infra_li,
     }));
 
-    // --- fault plane -------------------------------------------------------
+    // --- fault plane and wire transport ------------------------------------
     // With a declared plan, every wire message (request, response, log
-    // delivery) crosses the fault plane on its way into the event queue.
-    // Initial schedules below bypass it by design — they are bootstrap
-    // bookkeeping, not link traffic. An empty plan installs no shim, so
-    // canonical runs take the exact pre-fault-plane path.
-    if !spec.faults.is_empty() {
+    // delivery) crosses the fault plane on its way into the event queue;
+    // with a wire transport attached, every surviving delivery then
+    // crosses the real socket to its destination endpoint. Initial
+    // schedules below bypass both by design — they are bootstrap
+    // bookkeeping, not link traffic. An empty plan under the DES backend
+    // installs no shim, so canonical runs take the exact
+    // pre-fault-plane path.
+    if !spec.faults.is_empty() || ctx.transport.is_wire() {
         rt.set_net_shim(Box::new(|ctx: &mut Ctx<'_>, now, delay, msg, buf| {
             let class = match &msg {
                 Msg::PdpReceive { slot, env } => {
@@ -2557,17 +2719,28 @@ pub fn run_scenario<A: Adversary>(
                 _ => None,
             };
             let Some((from, to, allow_drop)) = class else {
-                buf.push((delay, msg));
+                // Not a fault-plane link; non-wire messages pass
+                // straight through, wire-encodable ones (probe-key
+                // provisioning) still cross the transport.
+                deliver(ctx, delay, msg, buf);
                 return;
             };
-            let fates = ctx.fault_plane.deliveries(now, from, to, allow_drop);
+            // The fault plane draws from its RNG stream only when a
+            // plan is declared, so attaching a wire transport to a
+            // fault-free spec perturbs nothing.
+            let fates = if ctx.fault_plane.plan().is_empty() {
+                vec![0]
+            } else {
+                ctx.fault_plane.deliveries(now, from, to, allow_drop)
+            };
             let Some((last, rest)) = fates.split_last() else {
                 return; // dropped (or partitioned away)
             };
             for extra in rest {
-                buf.push((delay + extra, clone_faulted(&msg)));
+                let dup = clone_faulted(&msg);
+                deliver(ctx, delay + extra, dup, buf);
             }
-            buf.push((delay + last, msg));
+            deliver(ctx, delay + last, msg, buf);
         }));
     }
 

@@ -20,8 +20,13 @@
 //! * [`par`] — a deterministic worker pool for pure-compute job batches
 //!   (signature verification, hashing, policy re-evaluation); results are
 //!   merged in submission order so output is worker-count invisible.
+//! * [`transport`] — the pluggable carrier for wire messages: the DES
+//!   identity backend (the conformance oracle) and the frame format the
+//!   TCP backend in `drams-net` puts on real sockets.
 //! * [`workload`] — Poisson arrivals, Zipf popularity, request and policy
 //!   generators shared by experiments and property tests.
+
+#![warn(missing_docs)]
 
 pub mod des;
 pub mod fault;
@@ -30,6 +35,7 @@ pub mod msg;
 pub mod par;
 pub mod pep;
 pub mod prp;
+pub mod transport;
 pub mod workload;
 
 pub use des::{
@@ -41,6 +47,7 @@ pub use model::{CloudId, FederationSpec, LatencyModel, PepId, TenantId, TenantSp
 pub use msg::{CorrelationId, RequestEnvelope, ResponseEnvelope};
 pub use pep::{Enforcement, EnforcementBias, Pep};
 pub use prp::{PolicyVersion, Prp};
+pub use transport::{DesTransport, Transport, TransportError, WireFrame, WireRole};
 pub use workload::{
     PoissonArrivals, PolicyGenerator, PolicyShape, RequestGenerator, Vocabulary, Zipf,
 };

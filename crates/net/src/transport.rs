@@ -1,0 +1,385 @@
+//! The TCP backend of the scenario runtime's [`Transport`] seam.
+//!
+//! [`TcpTransport`] keeps one connection per destination role and
+//! performs one synchronous round-trip per wire message: write the
+//! frame, read the endpoint's validated echo, hand the echoed frame
+//! back to the scheduler. Endpoints are provisioned lazily through a
+//! [`Provisioner`] — either an in-process thread per role
+//! ([`ThreadProvisioner`], the loopback deployment) or a spawned
+//! `drams-node` child process per role ([`ProcessProvisioner`]).
+//!
+//! A scripted service crash reaches the transport as
+//! [`Transport::restart`]: the endpoint is retired (thread stopped /
+//! process killed), the connection dropped, and the next frame for that
+//! role re-provisions and reconnects — a real reconnect across a real
+//! socket, at a possibly different address.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader};
+use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
+use std::time::Duration;
+
+use drams_faas::transport::{Transport, TransportError, WireFrame, WireRole};
+
+use crate::frame::{io_error, read_frame, write_frame, FrameReader};
+
+/// How long a single blocked read may wait for the endpoint's echo
+/// before the round-trip is abandoned and retried on a fresh
+/// connection.
+const READ_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Connection attempts per endpoint address (the listener of a freshly
+/// spawned process may not be up yet).
+const CONNECT_ATTEMPTS: u32 = 100;
+
+/// Pause between connection attempts.
+const CONNECT_PAUSE: Duration = Duration::from_millis(10);
+
+/// Round-trip attempts per frame; each failure drops the connection and
+/// reconnects, so this bounds the reconnect storm a flapping endpoint
+/// can cause.
+const ROUNDTRIP_ATTEMPTS: u32 = 5;
+
+/// Provides (and tears down) the socket endpoint behind a role.
+pub trait Provisioner {
+    /// Returns the listen address of a live endpoint for `role`,
+    /// creating one if none exists.
+    fn provision(&mut self, role: WireRole) -> Result<SocketAddr, TransportError>;
+
+    /// Tears down the current endpoint for `role` (stop the thread /
+    /// kill the process). A later [`Provisioner::provision`] must
+    /// produce a fresh endpoint.
+    fn retire(&mut self, role: WireRole);
+
+    /// Deployment-shape label for reports.
+    fn label(&self) -> &'static str;
+}
+
+/// One endpoint thread per role, all inside the current process.
+#[derive(Debug, Default)]
+pub struct ThreadProvisioner {
+    endpoints: HashMap<WireRole, crate::endpoint::NodeEndpoint>,
+}
+
+impl ThreadProvisioner {
+    /// An empty provisioner; endpoints spawn on first contact.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Provisioner for ThreadProvisioner {
+    fn provision(&mut self, role: WireRole) -> Result<SocketAddr, TransportError> {
+        if let Some(ep) = self.endpoints.get(&role) {
+            return Ok(ep.addr());
+        }
+        let ep = crate::endpoint::NodeEndpoint::spawn(role).map_err(io_error)?;
+        let addr = ep.addr();
+        self.endpoints.insert(role, ep);
+        Ok(addr)
+    }
+
+    fn retire(&mut self, role: WireRole) {
+        if let Some(ep) = self.endpoints.remove(&role) {
+            ep.shutdown();
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "tcp-loopback"
+    }
+}
+
+/// One `drams-node` child process per role.
+///
+/// Children are spawned with `--listen 127.0.0.1:0`; the provisioner
+/// learns the actual port from the child's `listening on` banner, so a
+/// restarted service may come back at a different address — exactly the
+/// re-resolution a real deployment performs.
+#[derive(Debug)]
+pub struct ProcessProvisioner {
+    binary: std::path::PathBuf,
+    children: HashMap<WireRole, (Child, SocketAddr)>,
+}
+
+impl ProcessProvisioner {
+    /// A provisioner spawning `binary` (the `drams-node` executable).
+    #[must_use]
+    pub fn new(binary: impl Into<std::path::PathBuf>) -> Self {
+        ProcessProvisioner {
+            binary: binary.into(),
+            children: HashMap::new(),
+        }
+    }
+
+    fn role_args(role: WireRole) -> Vec<String> {
+        let mut args = vec!["--role".to_string()];
+        match role {
+            WireRole::Pep => args.push("pep".to_string()),
+            WireRole::Pdp { slot } => {
+                args.push("pdp".to_string());
+                args.extend(["--cloud".to_string(), slot.to_string()]);
+            }
+            WireRole::Li { index } => {
+                args.push("li".to_string());
+                args.extend(["--tenant".to_string(), index.to_string()]);
+            }
+            WireRole::Chain => args.push("chain".to_string()),
+            WireRole::Analyser => args.push("analyser".to_string()),
+        }
+        args
+    }
+}
+
+impl Provisioner for ProcessProvisioner {
+    fn provision(&mut self, role: WireRole) -> Result<SocketAddr, TransportError> {
+        if let Some((child, addr)) = self.children.get_mut(&role) {
+            // Still alive? (A killed child is re-provisioned fresh.)
+            if child.try_wait().map_err(io_error)?.is_none() {
+                return Ok(*addr);
+            }
+            let (mut dead, _) = self.children.remove(&role).expect("present");
+            let _ = dead.wait();
+        }
+        let mut child = Command::new(&self.binary)
+            .args(Self::role_args(role))
+            .args(["--listen", "127.0.0.1:0"])
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .map_err(io_error)?;
+        // The banner is printed after the bind succeeds, so parsing it
+        // both learns the port and synchronises with listener liveness.
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .map_err(io_error)?;
+        let addr: SocketAddr = banner
+            .rsplit(' ')
+            .next()
+            .map(str::trim)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| TransportError::Io(format!("bad drams-node banner: {banner:?}")))?;
+        self.children.insert(role, (child, addr));
+        Ok(addr)
+    }
+
+    fn retire(&mut self, role: WireRole) {
+        if let Some((mut child, _)) = self.children.remove(&role) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "tcp-process"
+    }
+}
+
+impl Drop for ProcessProvisioner {
+    fn drop(&mut self) {
+        for (_, (mut child, _)) in self.children.drain() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Wire-level counters the bench runner reports (E16).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct NetStats {
+    /// Completed round-trips.
+    pub frames: u64,
+    /// Wire bytes written (outer framing included).
+    pub bytes_sent: u64,
+    /// Connections established (first contacts and re-establishments).
+    pub connects: u64,
+    /// Round-trips that had to re-establish a connection mid-flight.
+    pub reconnects: u64,
+    /// Service restarts signalled via [`Transport::restart`].
+    pub restarts: u64,
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: FrameReader,
+}
+
+/// The TCP implementation of the scenario runtime's [`Transport`].
+pub struct TcpTransport {
+    provisioner: Box<dyn Provisioner>,
+    conns: HashMap<WireRole, Conn>,
+    stats: NetStats,
+}
+
+impl TcpTransport {
+    /// The loopback deployment: every role served by an in-process
+    /// endpoint thread, provisioned on first contact.
+    #[must_use]
+    pub fn loopback() -> Self {
+        Self::with_provisioner(Box::new(ThreadProvisioner::new()))
+    }
+
+    /// A transport over a custom deployment shape.
+    #[must_use]
+    pub fn with_provisioner(provisioner: Box<dyn Provisioner>) -> Self {
+        TcpTransport {
+            provisioner,
+            conns: HashMap::new(),
+            stats: NetStats::default(),
+        }
+    }
+
+    /// Wire counters accumulated so far.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    fn connect(&mut self, role: WireRole) -> Result<(), TransportError> {
+        let addr = self.provisioner.provision(role)?;
+        let mut last = TransportError::Closed;
+        for _ in 0..CONNECT_ATTEMPTS {
+            match TcpStream::connect(addr) {
+                Ok(stream) => {
+                    let _ = stream.set_nodelay(true);
+                    stream
+                        .set_read_timeout(Some(READ_DEADLINE))
+                        .map_err(io_error)?;
+                    self.conns.insert(
+                        role,
+                        Conn {
+                            stream,
+                            parser: FrameReader::new(),
+                        },
+                    );
+                    self.stats.connects += 1;
+                    return Ok(());
+                }
+                Err(e) => last = io_error(e),
+            }
+            std::thread::sleep(CONNECT_PAUSE);
+        }
+        Err(last)
+    }
+
+    fn try_roundtrip(
+        &mut self,
+        role: WireRole,
+        frame: &WireFrame,
+    ) -> Result<WireFrame, TransportError> {
+        if !self.conns.contains_key(&role) {
+            self.connect(role)?;
+        }
+        let conn = self.conns.get_mut(&role).expect("connected");
+        let n = write_frame(&mut conn.stream, frame)?;
+        let echo = read_frame(&mut conn.stream, &mut conn.parser)?;
+        self.stats.frames += 1;
+        self.stats.bytes_sent += n as u64;
+        Ok(echo)
+    }
+}
+
+impl Transport for TcpTransport {
+    fn is_wire(&self) -> bool {
+        true
+    }
+
+    fn roundtrip(&mut self, frame: WireFrame) -> Result<WireFrame, TransportError> {
+        let role = frame.role;
+        let mut last = TransportError::Closed;
+        for attempt in 0..ROUNDTRIP_ATTEMPTS {
+            match self.try_roundtrip(role, &frame) {
+                Ok(echo) => {
+                    if echo != frame {
+                        // The endpoint acked something else: the wire
+                        // (or the endpoint) corrupted the frame.
+                        return Err(TransportError::Corrupt(format!(
+                            "echo mismatch for seq {}",
+                            frame.seq
+                        )));
+                    }
+                    return Ok(echo);
+                }
+                // Structural rejections are not cured by reconnecting.
+                Err(
+                    e @ (TransportError::Corrupt(_)
+                    | TransportError::Oversized { .. }
+                    | TransportError::Malformed(_)
+                    | TransportError::RoleMismatch { .. }),
+                ) => return Err(e),
+                Err(e) => {
+                    // I/O failure or endpoint death: reconnect and
+                    // resend. The endpoint is a validating relay, so a
+                    // duplicate send is harmless — only the echo the
+                    // driver reads is ever scheduled.
+                    self.conns.remove(&role);
+                    if attempt + 1 < ROUNDTRIP_ATTEMPTS {
+                        self.stats.reconnects += 1;
+                    }
+                    last = e;
+                }
+            }
+        }
+        Err(last)
+    }
+
+    fn restart(&mut self, role: WireRole) -> Result<(), TransportError> {
+        self.provisioner.retire(role);
+        self.conns.remove(&role);
+        self.stats.restarts += 1;
+        Ok(())
+    }
+
+    fn name(&self) -> &'static str {
+        self.provisioner.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_roundtrip_reconnects_after_restart() {
+        let mut t = TcpTransport::loopback();
+        let role = WireRole::Pdp { slot: 1 };
+        let frame = WireFrame {
+            role,
+            kind: 1,
+            seq: 1,
+            delay: 10,
+            payload: vec![9; 32],
+        };
+        assert_eq!(t.roundtrip(frame.clone()).expect("first"), frame);
+        t.restart(role).expect("restart");
+        let next = WireFrame { seq: 2, ..frame };
+        assert_eq!(t.roundtrip(next.clone()).expect("reconnect"), next);
+        let stats = t.stats();
+        assert_eq!(stats.frames, 2);
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.connects, 2, "restart forces a fresh connection");
+    }
+
+    #[test]
+    fn distinct_roles_get_distinct_endpoints() {
+        let mut t = TcpTransport::loopback();
+        for (seq, role) in [
+            WireRole::Pep,
+            WireRole::Pdp { slot: 0 },
+            WireRole::Li { index: 0 },
+            WireRole::Chain,
+            WireRole::Analyser,
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let frame = WireFrame::ping(role, seq as u64 + 1);
+            assert_eq!(t.roundtrip(frame.clone()).expect("ping"), frame);
+        }
+        assert_eq!(t.stats().connects, 5);
+    }
+}

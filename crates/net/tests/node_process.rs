@@ -1,0 +1,98 @@
+//! Process-mode conformance: Figure 1 with every contacted service
+//! endpoint hosted in its own real `drams-node` process.
+//!
+//! The scenario driver spawns one child process per role on first
+//! contact ([`ProcessProvisioner`]), and a scripted `CrashRestart`
+//! reaches the transport as a real `SIGKILL`: the child dies, the next
+//! frame for that role spawns a fresh process (at a *different* port —
+//! `--listen 127.0.0.1:0`) and reconnects. The run must still converge
+//! to the same alert stream and ground truth as its DES twin.
+
+use drams_core::adversary::NoAdversary;
+use drams_core::monitor::{MonitorConfig, MonitorReport};
+use drams_core::scenario::{
+    run_scenario, run_scenario_with_transport, CrashTarget, ScenarioSpec, ScriptedAction,
+};
+use drams_crypto::codec::Encode;
+use drams_faas::des::MILLIS;
+use drams_faas::model::TenantId;
+use drams_net::{ProcessProvisioner, TcpTransport};
+
+fn node_binary() -> &'static str {
+    env!("CARGO_BIN_EXE_drams-node")
+}
+
+fn alert_bytes(report: &MonitorReport) -> Vec<Vec<u8>> {
+    report
+        .alerts
+        .iter()
+        .map(Encode::to_canonical_bytes)
+        .collect()
+}
+
+fn small_config() -> MonitorConfig {
+    MonitorConfig {
+        total_requests: 40,
+        request_rate_per_sec: 150.0,
+        ..MonitorConfig::default()
+    }
+}
+
+/// An honest run over real per-service processes is byte-identical to
+/// the DES oracle.
+#[test]
+fn process_hosted_run_matches_des_twin() {
+    let spec = ScenarioSpec {
+        name: "process_hosted".to_string(),
+        ..ScenarioSpec::canonical(&small_config())
+    };
+    let (des, des_truth) = run_scenario(&spec, &mut NoAdversary);
+    let mut transport =
+        TcpTransport::with_provisioner(Box::new(ProcessProvisioner::new(node_binary())));
+    let (tcp, tcp_truth) = run_scenario_with_transport(&spec, &mut NoAdversary, &mut transport);
+    let stats = transport.stats();
+    assert!(
+        stats.frames > 0,
+        "frames must cross real process boundaries"
+    );
+    assert_eq!(des_truth, tcp_truth);
+    assert_eq!(alert_bytes(&des), alert_bytes(&tcp));
+    assert_eq!(des.requests_completed, tcp.requests_completed);
+    assert_eq!(des.entries_logged, tcp.entries_logged);
+    assert_eq!(des.groups_completed, tcp.groups_completed);
+    assert_eq!(des.txs_committed, tcp.txs_committed);
+    assert_eq!(des.finished_at, tcp.finished_at);
+}
+
+/// The crash/reconnect bar: a journaled service process (tenant 1's
+/// Logging Interface) is killed and restarted mid-scenario via the
+/// `CrashTarget` machinery, and the TCP run converges to the same alert
+/// stream as its DES twin.
+#[test]
+fn killed_and_respawned_li_process_converges_to_des_twin() {
+    let crash = ScenarioSpec {
+        name: "process_crash_li".to_string(),
+        script: vec![ScriptedAction::CrashRestart {
+            at: 400 * MILLIS,
+            target: CrashTarget::Li(TenantId(1)),
+        }],
+        ..ScenarioSpec::canonical(&small_config())
+    };
+    let (des, des_truth) = run_scenario(&crash, &mut NoAdversary);
+    assert_eq!(des.crash_restarts, 1);
+    let mut transport =
+        TcpTransport::with_provisioner(Box::new(ProcessProvisioner::new(node_binary())));
+    let (tcp, tcp_truth) = run_scenario_with_transport(&crash, &mut NoAdversary, &mut transport);
+    let stats = transport.stats();
+    assert_eq!(tcp.crash_restarts, 1);
+    assert_eq!(stats.restarts, 1, "the LI process must really have died");
+    assert!(
+        stats.connects >= 2,
+        "the transport must reconnect to the respawned process"
+    );
+    assert_eq!(des_truth, tcp_truth);
+    assert_eq!(alert_bytes(&des), alert_bytes(&tcp));
+    assert_eq!(des.entries_logged, tcp.entries_logged);
+    assert_eq!(des.groups_completed, tcp.groups_completed);
+    assert_eq!(des.finished_at, tcp.finished_at);
+}

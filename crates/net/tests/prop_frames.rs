@@ -1,0 +1,174 @@
+//! Property tests of the wire frame codec, in the corruption-geometry
+//! spirit: arbitrary frames must round-trip through arbitrarily torn
+//! byte streams, and *every* way of damaging the framing must land on
+//! exactly one typed rejection — oversized length prefixes refused
+//! before allocation, CRC damage refused before decode, body damage
+//! refused by the canonical codec.
+
+use drams_faas::transport::{TransportError, WireFrame, WireRole, MAX_FRAME_BODY};
+use drams_net::frame::{frame_bytes, FrameReader, FRAME_PREFIX};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An arbitrary frame driven off one seed: every role, random kind,
+/// seq, delay and a payload of 0..2048 bytes.
+fn rand_frame(rng: &mut StdRng) -> WireFrame {
+    let role = match rng.gen_range(0u32..5) {
+        0 => WireRole::Pep,
+        1 => WireRole::Pdp {
+            slot: rng.gen_range(0u32..8),
+        },
+        2 => WireRole::Li {
+            index: rng.gen_range(0u32..8),
+        },
+        3 => WireRole::Chain,
+        _ => WireRole::Analyser,
+    };
+    let len = rng.gen_range(0usize..2048);
+    let mut payload = vec![0u8; len];
+    for b in &mut payload {
+        *b = rng.gen_range(0u32..256) as u8;
+    }
+    WireFrame {
+        role,
+        kind: rng.gen_range(0u32..8) as u8,
+        seq: rng.gen_range(0u64..u64::MAX),
+        delay: rng.gen_range(0u64..10_000_000),
+        payload,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// Round-trip: a batch of arbitrary frames, concatenated and then
+    /// re-chunked at arbitrary split points (including empty feeds),
+    /// comes out of the incremental parser intact and in order.
+    #[test]
+    fn frames_survive_arbitrary_chunking(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let count = rng.gen_range(1usize..6);
+        let frames: Vec<WireFrame> = (0..count).map(|_| rand_frame(&mut rng)).collect();
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend(frame_bytes(f).expect("encode"));
+        }
+        let mut parser = FrameReader::new();
+        let mut out = Vec::new();
+        let mut pos = 0;
+        while pos < stream.len() {
+            let chunk = rng.gen_range(0usize..97).min(stream.len() - pos);
+            parser.feed(&stream[pos..pos + chunk]);
+            pos += chunk;
+            while let Some(frame) = parser.next_frame().expect("clean stream") {
+                out.push(frame);
+            }
+        }
+        prop_assert_eq!(out, frames);
+        prop_assert_eq!(parser.pending(), 0);
+    }
+
+    /// A frame cut anywhere stays pending (torn read), never errors,
+    /// and completes the moment the missing tail arrives.
+    #[test]
+    fn torn_frames_resume_where_they_stopped(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = rand_frame(&mut rng);
+        let bytes = frame_bytes(&frame).expect("encode");
+        let cut = rng.gen_range(0usize..bytes.len() as usize);
+        let mut parser = FrameReader::new();
+        parser.feed(&bytes[..cut]);
+        prop_assert_eq!(parser.next_frame().expect("torn prefix is not an error"), None);
+        parser.feed(&bytes[cut..]);
+        prop_assert_eq!(parser.next_frame().expect("completed"), Some(frame));
+    }
+
+    /// Flipping any single bit of the body is caught: by the CRC for
+    /// every byte past the prefix, by the oversized/CRC checks inside
+    /// it. No damaged frame is ever surfaced as a frame.
+    #[test]
+    fn any_single_bit_flip_is_rejected(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let frame = rand_frame(&mut rng);
+        let mut bytes = frame_bytes(&frame).expect("encode");
+        let victim = rng.gen_range(0usize..bytes.len() as usize);
+        let bit = rng.gen_range(0u32..8);
+        bytes[victim] ^= 1 << bit;
+        let mut parser = FrameReader::new();
+        parser.feed(&bytes);
+        match parser.next_frame() {
+            // Damage to the length word usually makes the stream look
+            // incomplete (or oversized) — both are acceptable refusals,
+            // a surfaced frame equal to the original is not.
+            Ok(None) => prop_assert!(victim < 4, "only length damage may stall"),
+            Ok(Some(got)) => prop_assert_ne!(got, frame),
+            Err(TransportError::Corrupt(_))
+            | Err(TransportError::Oversized { .. })
+            | Err(TransportError::Malformed(_)) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other}"),
+        }
+    }
+}
+
+/// The length-prefix ceiling is exact: a prefix of `MAX_FRAME_BODY` is
+/// entertained, one byte more is a typed `Oversized` refusal before any
+/// body bytes exist.
+#[test]
+fn oversized_boundary_is_exact() {
+    let mut parser = FrameReader::new();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(MAX_FRAME_BODY as u32).to_be_bytes());
+    bytes.extend_from_slice(&[0; 4]);
+    parser.feed(&bytes);
+    assert_eq!(
+        parser.next_frame().expect("at the cap: wait for the body"),
+        None
+    );
+    let mut parser = FrameReader::new();
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(&(MAX_FRAME_BODY as u32 + 1).to_be_bytes());
+    bytes.extend_from_slice(&[0; 4]);
+    parser.feed(&bytes);
+    assert!(matches!(
+        parser.next_frame(),
+        Err(TransportError::Oversized { len, max })
+            if len == MAX_FRAME_BODY as u64 + 1 && max == MAX_FRAME_BODY as u64
+    ));
+}
+
+/// A realistic payload — the canonical-codec `RequestEnvelope` the
+/// scenario runtime actually puts on the PEP→PDP wire — rides through
+/// the framing unchanged, byte for byte.
+#[test]
+fn request_envelope_payload_rides_byte_identically() {
+    use drams_crypto::codec::{Decode, Encode};
+    use drams_faas::model::{PepId, TenantId};
+    use drams_faas::msg::{CorrelationId, RequestEnvelope};
+    use drams_policy::attr::Request;
+
+    let env = RequestEnvelope {
+        correlation: CorrelationId(77),
+        tenant: TenantId(2),
+        pep: PepId(2),
+        service: "records".to_string(),
+        request: Request::new(),
+        issued_at: 1_250,
+    };
+    let payload = env.to_canonical_bytes();
+    let frame = WireFrame {
+        role: WireRole::Pdp { slot: 0 },
+        kind: 1,
+        seq: 1,
+        delay: 250,
+        payload: payload.clone(),
+    };
+    let bytes = frame_bytes(&frame).expect("encode");
+    assert_eq!(bytes.len(), FRAME_PREFIX + frame.to_canonical_bytes().len());
+    let mut parser = FrameReader::new();
+    parser.feed(&bytes);
+    let got = parser.next_frame().expect("clean").expect("complete");
+    assert_eq!(got.payload, payload);
+    let back = RequestEnvelope::from_canonical_bytes(&got.payload).expect("decode");
+    assert_eq!(back, env);
+}

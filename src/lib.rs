@@ -16,6 +16,8 @@
 //!   Analyser service, alerts, TPM simulation.
 //! * [`store`] — the hybrid database+blockchain log store of ref \[9\].
 //! * [`attack`] — the attack-injection framework used in the evaluation.
+//! * [`net`] — the real transport: CRC-framed Figure-1 services over
+//!   TCP (`drams-node`), with the DES as conformance oracle.
 //!
 //! See `README.md` for a guided tour, `DESIGN.md` for the system inventory
 //! and `EXPERIMENTS.md` for the experiment catalogue.
@@ -46,5 +48,6 @@ pub use drams_chain as chain;
 pub use drams_core as core;
 pub use drams_crypto as crypto;
 pub use drams_faas as faas;
+pub use drams_net as net;
 pub use drams_policy as policy;
 pub use drams_store as store;
